@@ -1,0 +1,26 @@
+//! # mashup-baselines
+//!
+//! The competing techniques of the paper's §4, implemented on the same
+//! simulated substrates as Mashup:
+//!
+//! * [`run_traditional`] / [`run_traditional_tuned`] — the traditional
+//!   VM-cluster execution (the latter with the paper's sub-cluster-split
+//!   strengthening);
+//! * [`run_serverless_only`] — everything on FaaS with checkpointing;
+//! * [`run_pegasus`] — Pegasus-like: task clustering + data reuse on VMs;
+//! * [`run_kepler`] — Kepler-like: dataflow-fired task pipelining on VMs.
+//!
+//! All four return the same [`mashup_core::WorkflowReport`] as Mashup, so
+//! the bench harness compares them uniformly.
+
+#![warn(missing_docs)]
+
+mod kepler;
+mod pegasus;
+mod serverless_only;
+mod traditional;
+
+pub use kepler::run_kepler;
+pub use pegasus::{cluster_tasks, run_pegasus};
+pub use serverless_only::run_serverless_only;
+pub use traditional::{run_traditional, run_traditional_tuned};

@@ -1,0 +1,86 @@
+//! The serverless-only baseline (paper §4).
+//!
+//! "All the tasks are executed by serverless functions and no VM clusters
+//! are involved. Checkpointing is used for components that exceed the
+//! run-time limit of serverless functions, and hence, remote storage
+//! effects on execution time and cost are accounted for."
+//!
+//! Tasks whose memory footprint physically cannot fit a function are the
+//! one exception — the paper's evaluation workflows fit 3 GB Lambdas, and
+//! [`run_serverless_only`] asserts the same so an impossible configuration
+//! fails loudly instead of silently falling back.
+
+use mashup_core::{execute, MashupConfig, PlacementPlan, Platform, WorkflowReport};
+use mashup_dag::Workflow;
+
+/// Runs the workflow entirely on the serverless platform.
+///
+/// Panics if any task's memory footprint exceeds the function cap — such a
+/// workflow has no serverless-only execution at all.
+pub fn run_serverless_only(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
+    // Pre-warming is one of Mashup's §3 mitigations, not part of the naive
+    // serverless-only baseline: functions here pay their cold starts.
+    let mut cfg = cfg.clone();
+    cfg.prewarm = false;
+    let cfg = &cfg;
+    for r in workflow.task_refs() {
+        let t = workflow.task(r);
+        assert!(
+            t.profile.memory_gb <= cfg.provider.faas.memory_gb,
+            "task '{}' cannot run serverless-only: {} GiB exceeds the {} GiB cap",
+            t.name,
+            t.profile.memory_gb,
+            cfg.provider.faas.memory_gb
+        );
+    }
+    let plan = PlacementPlan::uniform(workflow, Platform::Serverless);
+    execute(cfg, workflow, &plan, "serverless-only")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{DependencyPattern, Task, TaskProfile, TaskRef, WorkflowBuilder};
+
+    fn wf(long: bool) -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.initial_input_bytes(1e8);
+        b.begin_phase();
+        let compute = if long { 2000.0 } else { 5.0 };
+        b.add_task(Task::new(
+            "a",
+            4,
+            TaskProfile::trivial().compute(compute).checkpoint(1e6),
+        ));
+        b.begin_phase();
+        let t = b.add_task(Task::new("b", 1, TaskProfile::trivial().compute(1.0)));
+        b.depend(t, TaskRef::new(0, 0), DependencyPattern::AllToAll);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn bills_only_faas_and_storage() {
+        let r = run_serverless_only(&MashupConfig::aws(4), &wf(false));
+        assert_eq!(r.expense.vm_dollars, 0.0);
+        assert!(r.expense.faas_dollars > 0.0);
+        assert!(r.expense.storage_dollars > 0.0);
+        assert_eq!(r.cluster_nodes, 0);
+    }
+
+    #[test]
+    fn over_cap_tasks_checkpoint() {
+        let r = run_serverless_only(&MashupConfig::aws(4), &wf(true));
+        let a = r.task("a").expect("exists");
+        // 2000 s of compute per component crosses the 900 s cap at least
+        // twice per component.
+        assert!(a.checkpoints >= 8, "checkpoints {}", a.checkpoints);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run serverless-only")]
+    fn oversized_memory_panics() {
+        let mut w = wf(false);
+        w.phases[0].tasks[0].profile.memory_gb = 32.0;
+        run_serverless_only(&MashupConfig::aws(4), &w);
+    }
+}

@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p mashup-bench --bin figures            # everything
+//! cargo run --release -p mashup-bench --bin figures -- fig6    # one figure
+//! cargo run --release -p mashup-bench --bin figures -- --json results/
+//! ```
+
+use mashup_bench as bench;
+use serde::Serialize;
+use std::io::Write as _;
+
+fn emit<T: Serialize>(json_dir: Option<&str>, name: &str, value: &T, rendered: String) {
+    println!("==== {name} ====");
+    println!("{rendered}");
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = format!("{dir}/{name}.json");
+        let mut f = std::fs::File::create(&path).expect("create result file");
+        let body = serde_json::to_string_pretty(value).expect("serialize result");
+        f.write_all(body.as_bytes()).expect("write result file");
+        println!("[written {path}]\n");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_dir = Some(it.next().unwrap_or_else(|| "results".into()));
+        } else {
+            wanted.push(a.to_lowercase());
+        }
+    }
+    let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+    let want = |key: &str| all || wanted.iter().any(|w| w == key);
+    let dir = json_dir.as_deref();
+
+    if want("fig2") {
+        let f = bench::fig02_env_choice();
+        emit(dir, "fig02_env_choice", &f, f.render());
+    }
+    if want("fig4a") {
+        let f = bench::fig04a_io_overhead();
+        emit(dir, "fig04a_io_overhead", &f, f.render());
+    }
+    if want("fig4b") {
+        let f = bench::fig04b_cold_start();
+        emit(dir, "fig04b_cold_start", &f, f.render());
+    }
+    if want("fig4c") {
+        let f = bench::fig04c_scaling();
+        emit(dir, "fig04c_scaling", &f, f.render());
+    }
+    if want("fig5") {
+        let f = bench::fig05_objectives();
+        emit(dir, "fig05_objectives", &f, f.render());
+    }
+    if want("fig6") {
+        let f = bench::fig06_exec_time();
+        emit(dir, "fig06_exec_time", &f, f.render());
+    }
+    if want("fig7") {
+        let f = bench::fig07_expense();
+        emit(dir, "fig07_expense", &f, f.render());
+    }
+    if want("fig8") {
+        let f = bench::fig08_vm_families();
+        emit(dir, "fig08_vm_families", &f, f.render());
+    }
+    if want("fig9") {
+        let f = bench::fig09_placement();
+        emit(dir, "fig09_placement", &f, f.render());
+    }
+    if want("fig10") {
+        let f = bench::fig10_sysmetrics();
+        emit(dir, "fig10_sysmetrics", &f, f.render());
+    }
+    if want("fig11") {
+        let f = bench::fig11_pareto();
+        emit(dir, "fig11_pareto", &f, f.render());
+    }
+    if want("fig12") {
+        let f = bench::fig12_managers();
+        emit(dir, "fig12_managers", &f, f.render());
+    }
+    if want("inputs") {
+        let f = bench::text_input_sizes();
+        emit(dir, "text_input_sizes", &f, f.render());
+    }
+    if want("half") {
+        let f = bench::text_half_cluster();
+        emit(dir, "text_half_cluster", &f, f.render());
+    }
+    if want("gcp") {
+        let f = bench::text_gcp();
+        emit(dir, "text_gcp", &f, f.render());
+    }
+    if want("overheads") {
+        let f = bench::text_overheads();
+        emit(dir, "text_overheads", &f, f.render());
+    }
+    if want("accuracy") {
+        let f = bench::text_pdc_accuracy();
+        emit(dir, "text_pdc_accuracy", &f, f.render());
+    }
+    if want("expense") {
+        println!("==== expense breakdown (48 nodes) ====");
+        println!("{}", bench::expense_summary(48));
+    }
+    if want("ablations") {
+        let f = bench::ablations();
+        emit(dir, "ablations", &f, f.render());
+    }
+}

@@ -1,0 +1,24 @@
+//! # mashup-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! Mashup paper's evaluation (§5). Each `figN_*` function runs the
+//! relevant strategies on the relevant workflows and returns a
+//! serializable result that the `figures` binary prints as the paper
+//! reports it (percent improvements over the traditional cluster, per-task
+//! overhead breakdowns, placement maps, Pareto points).
+//!
+//! Absolute numbers come from the simulated substrates and are not
+//! expected to match the paper's AWS measurements; the *shapes* — who
+//! wins, by roughly what factor, where crossovers fall — are the
+//! reproduction targets, recorded against the paper in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod strategies;
+pub mod table;
+
+pub use ablations::{ablations, AblationRow, Ablations};
+pub use figures::*;
+pub use strategies::{run_strategy, Strategy};

@@ -1,0 +1,87 @@
+//! Uniform access to every execution strategy under comparison.
+
+use mashup_baselines::{
+    run_kepler, run_pegasus, run_serverless_only, run_traditional, run_traditional_tuned,
+};
+use mashup_core::{Mashup, MashupConfig, WorkflowReport};
+use mashup_dag::Workflow;
+use serde::{Deserialize, Serialize};
+
+/// Every execution strategy the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Plain all-VM phase-ordered execution.
+    Traditional,
+    /// All-VM with the paper's sub-cluster-split strengthening.
+    TraditionalTuned,
+    /// Everything on FaaS with checkpointing.
+    ServerlessOnly,
+    /// Pegasus-like: task clustering + data reuse on VMs.
+    Pegasus,
+    /// Kepler-like: dataflow-fired pipelining on VMs.
+    Kepler,
+    /// Hybrid with the component-count threshold (no profiling).
+    MashupWithoutPdc,
+    /// The full system: PDC profiling + hybrid execution.
+    Mashup,
+}
+
+impl Strategy {
+    /// All strategies in presentation order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Traditional,
+        Strategy::TraditionalTuned,
+        Strategy::ServerlessOnly,
+        Strategy::Pegasus,
+        Strategy::Kepler,
+        Strategy::MashupWithoutPdc,
+        Strategy::Mashup,
+    ];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Traditional => "traditional",
+            Strategy::TraditionalTuned => "traditional-tuned",
+            Strategy::ServerlessOnly => "serverless-only",
+            Strategy::Pegasus => "pegasus",
+            Strategy::Kepler => "kepler",
+            Strategy::MashupWithoutPdc => "mashup-wo-pdc",
+            Strategy::Mashup => "mashup",
+        }
+    }
+}
+
+/// Runs `strategy` on `workflow` under `cfg` and returns its report.
+pub fn run_strategy(cfg: &MashupConfig, workflow: &Workflow, strategy: Strategy) -> WorkflowReport {
+    match strategy {
+        Strategy::Traditional => run_traditional(cfg, workflow),
+        Strategy::TraditionalTuned => run_traditional_tuned(cfg, workflow),
+        Strategy::ServerlessOnly => run_serverless_only(cfg, workflow),
+        Strategy::Pegasus => run_pegasus(cfg, workflow),
+        Strategy::Kepler => run_kepler(cfg, workflow),
+        Strategy::MashupWithoutPdc => Mashup::new(cfg.clone()).run_without_pdc(workflow),
+        Strategy::Mashup => Mashup::new(cfg.clone()).run(workflow).report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{Task, TaskProfile, WorkflowBuilder};
+
+    #[test]
+    fn every_strategy_completes_on_a_small_workflow() {
+        let mut b = WorkflowBuilder::new("smoke");
+        b.initial_input_bytes(1e6);
+        b.begin_phase();
+        b.add_task(Task::new("t", 16, TaskProfile::trivial().compute(2.0)));
+        let w = b.build().expect("valid");
+        let cfg = MashupConfig::aws(2);
+        for s in Strategy::ALL {
+            let r = run_strategy(&cfg, &w, s);
+            assert!(r.makespan_secs > 0.0, "{} produced empty run", s.label());
+            assert_eq!(r.tasks.len(), 1, "{}", s.label());
+        }
+    }
+}

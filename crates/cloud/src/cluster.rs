@@ -1,0 +1,687 @@
+//! The traditional VM cluster model.
+//!
+//! A cluster is one or more *sub-clusters*, each with its own master node
+//! whose NIC funnels all intra-cluster data distribution and collection
+//! (the paper's §5 observation that Individual-Merge and Sifting "contend
+//! for network bandwidth to communicate with the master node" falls out of
+//! this).
+//!
+//! Execution follows the paper's traditional-cluster semantics (Algorithm 1
+//! lines 12–14): a task's components are spawned across the workers *all at
+//! once* and timeshare the node's cores. Oversubscription slows every
+//! co-resident component **superlinearly** — `(load/cores)^(1+c)` with a
+//! per-task contention coefficient `c` — which is exactly the paper's
+//! Eq. 2 form `T_VM = R^(γ·C)`: heavily oversubscribed small clusters
+//! thrash (cache/memory pressure), which is why serverless can beat them on
+//! both time *and* expense, while large clusters run near the linear
+//! work-conserving bound.
+
+use crate::cost::CostMeter;
+use crate::pricing::InstanceType;
+use crate::storage::ObjectStore;
+use mashup_sim::{jitter_factor, SeedSource, SharedLink, SimDuration, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Cluster shape and billing parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Node instance type.
+    pub instance: InstanceType,
+    /// Total worker nodes.
+    pub nodes: usize,
+    /// Number of sub-clusters the nodes are divided into, each with its own
+    /// master (the paper's two-sub-cluster optimization for SRAsearch).
+    pub subclusters: usize,
+    /// Time to provision the cluster before it is usable, seconds.
+    pub provision_secs: f64,
+}
+
+impl ClusterConfig {
+    /// A single sub-cluster of `nodes` nodes of the given type.
+    pub fn new(instance: InstanceType, nodes: usize) -> Self {
+        ClusterConfig {
+            instance,
+            nodes,
+            subclusters: 1,
+            provision_secs: 0.0,
+        }
+    }
+
+    /// Builder-style: splits the cluster into `k` sub-clusters.
+    pub fn with_subclusters(mut self, k: usize) -> Self {
+        assert!(k >= 1 && k <= self.nodes, "invalid subcluster count");
+        self.subclusters = k;
+        self
+    }
+
+    /// Builder-style: sets the provisioning latency.
+    pub fn with_provisioning(mut self, secs: f64) -> Self {
+        self.provision_secs = secs;
+        self
+    }
+
+    /// Total core slots across the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.nodes * self.instance.cores
+    }
+}
+
+/// Where a cluster task's input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ClusterInput {
+    /// No input transfer (already node-local).
+    None,
+    /// Initial dataset distributed from the sub-cluster master
+    /// (Algorithm 1 line 12): funnels through the master ingest NIC.
+    Master,
+    /// Inter-phase data from other workers over the scalable fabric.
+    Fabric,
+    /// From the object store over the WAN (hybrid boundary).
+    Wan,
+}
+
+/// Where a cluster task's output goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ClusterOutput {
+    /// No output transfer.
+    None,
+    /// To the next phase's workers over the fabric.
+    Fabric,
+    /// To the object store over the WAN (hybrid boundary).
+    Wan,
+}
+
+/// Work description for running one task's components on the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterTaskSpec {
+    /// Label for diagnostics (usually the task name).
+    pub label: String,
+    /// Number of components to run.
+    pub components: usize,
+    /// Per-component compute seconds on a reference core.
+    pub compute_secs: f64,
+    /// Per-component input bytes.
+    pub input_bytes: f64,
+    /// Per-component output bytes.
+    pub output_bytes: f64,
+    /// GET/PUT requests per component when exchanging with the store.
+    pub io_requests: u64,
+    /// Memory-pressure thrash coefficient (see
+    /// [`VmCluster::timeshare_factor`]).
+    pub contention_coeff: f64,
+    /// Per-component resident memory in GiB (drives swap thrash).
+    pub memory_gb: f64,
+    /// Relative runtime jitter.
+    pub jitter: f64,
+    /// Input path.
+    pub input: ClusterInput,
+    /// Output path.
+    pub output: ClusterOutput,
+    /// Which sub-cluster to run on.
+    pub subcluster: usize,
+}
+
+impl ClusterTaskSpec {
+    /// A minimal spec with the given label, component count, and compute.
+    pub fn new(label: impl Into<String>, components: usize, compute_secs: f64) -> Self {
+        ClusterTaskSpec {
+            label: label.into(),
+            components,
+            compute_secs,
+            input_bytes: 0.0,
+            output_bytes: 0.0,
+            io_requests: 1,
+            contention_coeff: 0.0,
+            memory_gb: 0.0,
+            jitter: 0.0,
+            input: ClusterInput::Fabric,
+            output: ClusterOutput::Fabric,
+            subcluster: 0,
+        }
+    }
+}
+
+/// Timing summary of one task run on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRunStats {
+    /// Submission instant.
+    pub start: SimTime,
+    /// Completion of the last component.
+    pub end: SimTime,
+    /// Sum of per-component I/O wall time, seconds.
+    pub io_secs: f64,
+    /// Sum of per-component compute wall time, seconds.
+    pub compute_secs: f64,
+}
+
+impl ClusterRunStats {
+    /// Wall-clock makespan of the task.
+    pub fn makespan(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+struct SubCluster {
+    /// Live component count per worker node (timeshare load).
+    node_loads: RefCell<Vec<usize>>,
+    peak_load: std::cell::Cell<usize>,
+    /// Master ingest NIC: initial-data distribution.
+    master_link: SharedLink,
+    /// Intra-cluster fabric: inter-phase data; aggregate scales with the
+    /// node count (bisection bound), per-flow capped by a node's NIC.
+    fabric_link: SharedLink,
+}
+
+impl SubCluster {
+    fn nodes(&self) -> usize {
+        self.node_loads.borrow().len()
+    }
+}
+
+struct ClusterState {
+    billing_started: Option<SimTime>,
+    billed_node_seconds: f64,
+}
+
+/// A shareable VM cluster. Cloning shares the same nodes and links.
+#[derive(Clone)]
+pub struct VmCluster {
+    cfg: ClusterConfig,
+    subs: Rc<Vec<SubCluster>>,
+    meter: CostMeter,
+    seeds: SeedSource,
+    state: Rc<RefCell<ClusterState>>,
+}
+
+impl VmCluster {
+    /// Builds a cluster; nodes are split round-robin across sub-clusters.
+    pub fn new(cfg: ClusterConfig, meter: CostMeter, seeds: &SeedSource) -> Self {
+        assert!(cfg.nodes >= 1, "cluster needs at least one node");
+        assert!(
+            cfg.subclusters >= 1 && cfg.subclusters <= cfg.nodes,
+            "invalid subcluster split"
+        );
+        let per_sub = cfg.nodes / cfg.subclusters;
+        let mut leftover = cfg.nodes % cfg.subclusters;
+        let mut subs = Vec::with_capacity(cfg.subclusters);
+        for s in 0..cfg.subclusters {
+            let mut n = per_sub;
+            if leftover > 0 {
+                n += 1;
+                leftover -= 1;
+            }
+            let fabric_bps =
+                (n as f64 * cfg.instance.node_nic_bps / 2.0).max(cfg.instance.node_nic_bps);
+            subs.push(SubCluster {
+                node_loads: RefCell::new(vec![0usize; n]),
+                peak_load: std::cell::Cell::new(0),
+                master_link: SharedLink::new(
+                    format!("sub{s}-master-nic"),
+                    cfg.instance.master_nic_bps,
+                ),
+                fabric_link: SharedLink::new(format!("sub{s}-fabric"), fabric_bps),
+            });
+        }
+        VmCluster {
+            subs: Rc::new(subs),
+            meter,
+            seeds: seeds.child("cluster"),
+            state: Rc::new(RefCell::new(ClusterState {
+                billing_started: None,
+                billed_node_seconds: 0.0,
+            })),
+            cfg,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The master ingest link of a sub-cluster (exposed for traces).
+    pub fn master_link(&self, subcluster: usize) -> &SharedLink {
+        &self.subs[subcluster].master_link
+    }
+
+    /// The intra-cluster fabric link of a sub-cluster (exposed for traces).
+    pub fn fabric_link(&self, subcluster: usize) -> &SharedLink {
+        &self.subs[subcluster].fabric_link
+    }
+
+    /// Starts billing node time (idempotent).
+    pub fn start_billing(&self, now: SimTime) {
+        let mut s = self.state.borrow_mut();
+        if s.billing_started.is_none() {
+            s.billing_started = Some(now);
+        }
+    }
+
+    /// Stops billing and charges the meter for the elapsed node time.
+    pub fn stop_billing(&self, now: SimTime) {
+        let mut s = self.state.borrow_mut();
+        if let Some(t0) = s.billing_started.take() {
+            let node_secs = now.saturating_since(t0).as_secs() * self.cfg.nodes as f64;
+            s.billed_node_seconds += node_secs;
+            self.meter
+                .charge_vm(node_secs, self.cfg.instance.price_per_hour);
+        }
+    }
+
+    /// Node-seconds billed so far.
+    pub fn billed_node_seconds(&self) -> f64 {
+        self.state.borrow().billed_node_seconds
+    }
+
+    /// Peak per-node component load observed on a sub-cluster.
+    pub fn peak_node_load(&self, subcluster: usize) -> usize {
+        self.subs[subcluster].peak_load.get()
+    }
+
+    /// Saturation bound on the swap-thrash multiplier (the slowdown cannot
+    /// exceed roughly the paging-vs-RAM speed gap).
+    pub const MAX_THRASH: f64 = 8.0;
+
+    /// The timeshare slowdown for a node running `load` components of
+    /// `comp_mem_gb` each on `cores` cores with `node_mem_gb` of RAM:
+    ///
+    /// ```text
+    /// max(1, load/cores)
+    ///     × min(MAX_THRASH, 1 + c · max(0, load·comp_mem/node_mem − 1))
+    /// ```
+    ///
+    /// The first term is plain work-conserving timesharing. The second is
+    /// *memory-pressure thrash*: once the resident set exceeds the node's
+    /// RAM, cycles are wasted swapping, growing with the deficit up to a
+    /// saturation bound. This is the mechanistic form of the paper's
+    /// superlinear Eq. 2 (`T_VM = R^(γ·C)`): small clusters running
+    /// hundreds of co-resident components thrash badly, large clusters run
+    /// near the linear work-conserving bound.
+    pub fn timeshare_factor(
+        load: usize,
+        cores: usize,
+        comp_mem_gb: f64,
+        node_mem_gb: f64,
+        swap_coeff: f64,
+    ) -> f64 {
+        let oversub = (load as f64 / cores as f64).max(1.0);
+        let pressure = (load as f64 * comp_mem_gb / node_mem_gb - 1.0).max(0.0);
+        oversub * (1.0 + swap_coeff * pressure).min(Self::MAX_THRASH)
+    }
+
+    /// Runs all components of a task on the cluster, invoking `on_done` with
+    /// timing stats when the last component finishes.
+    ///
+    /// Per component (Algorithm 1 lines 12–14): read input through the
+    /// master NIC (or the store over the WAN in hybrid mode), compute while
+    /// timesharing the node with its co-residents (superlinear
+    /// oversubscription slowdown sampled at compute start), write output.
+    pub fn run_task(
+        &self,
+        sim: &mut Simulation,
+        store: Option<&ObjectStore>,
+        spec: ClusterTaskSpec,
+        on_done: impl FnOnce(&mut Simulation, ClusterRunStats) + 'static,
+    ) {
+        assert!(spec.subcluster < self.subs.len(), "no such subcluster");
+        assert!(spec.components > 0, "task with zero components");
+        assert!(
+            !(spec.input == ClusterInput::Wan || spec.output == ClusterOutput::Wan)
+                || store.is_some(),
+            "WAN I/O requires an object store"
+        );
+
+        struct Accum {
+            remaining: usize,
+            io_secs: f64,
+            compute_secs: f64,
+            start: SimTime,
+            done: Option<Box<dyn FnOnce(&mut Simulation, ClusterRunStats)>>,
+        }
+        let accum = Rc::new(RefCell::new(Accum {
+            remaining: spec.components,
+            io_secs: 0.0,
+            compute_secs: 0.0,
+            start: sim.now(),
+            done: Some(Box::new(on_done)),
+        }));
+
+        let sub = spec.subcluster;
+        let n_nodes = self.subs[sub].nodes();
+        let spec = Rc::new(spec);
+        let mut rng = self.seeds.child(&spec.label).stream("cluster-run");
+
+        for comp in 0..spec.components {
+            let node_idx = comp % n_nodes;
+            let cluster = self.clone();
+            let spec = spec.clone();
+            let accum = accum.clone();
+            let store = store.cloned();
+            let jf = jitter_factor(&mut rng, spec.jitter);
+
+            // --- input ---
+            let read_begin = sim.now();
+            let after_read = {
+                let cluster = cluster.clone();
+                let spec = spec.clone();
+                let accum = accum.clone();
+                let store = store.clone();
+                move |sim: &mut Simulation| {
+                    accum.borrow_mut().io_secs += sim.now().since(read_begin).as_secs();
+                    // --- compute: timeshare the node ---
+                    let load = {
+                        let sub = &cluster.subs[spec.subcluster];
+                        let mut loads = sub.node_loads.borrow_mut();
+                        loads[node_idx] += 1;
+                        let l = loads[node_idx];
+                        sub.peak_load.set(sub.peak_load.get().max(l));
+                        l
+                    };
+                    let factor = VmCluster::timeshare_factor(
+                        load,
+                        cluster.cfg.instance.cores,
+                        spec.memory_gb,
+                        cluster.cfg.instance.memory_gb,
+                        spec.contention_coeff,
+                    );
+                    let secs =
+                        spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
+                    let dur = SimDuration::from_secs(secs);
+                    accum.borrow_mut().compute_secs += secs;
+                    sim.schedule_in(dur, move |sim| {
+                        cluster.subs[spec.subcluster].node_loads.borrow_mut()
+                            [node_idx] -= 1;
+                        // --- output ---
+                        let write_begin = sim.now();
+                        let finish = {
+                            let accum = accum.clone();
+                            move |sim: &mut Simulation| {
+                                let mut a = accum.borrow_mut();
+                                a.io_secs += sim.now().since(write_begin).as_secs();
+                                a.remaining -= 1;
+                                if a.remaining == 0 {
+                                    let stats = ClusterRunStats {
+                                        start: a.start,
+                                        end: sim.now(),
+                                        io_secs: a.io_secs,
+                                        compute_secs: a.compute_secs,
+                                    };
+                                    let cb = a.done.take().expect("done fires once");
+                                    drop(a);
+                                    cb(sim, stats);
+                                }
+                            }
+                        };
+                        if spec.output_bytes <= 0.0 || spec.output == ClusterOutput::None {
+                            sim.schedule_now(finish);
+                        } else if spec.output == ClusterOutput::Wan {
+                            let s = store.clone().expect("store checked above");
+                            s.write(
+                                sim,
+                                spec.output_bytes,
+                                spec.io_requests,
+                                Some(cluster.cfg.instance.wan_bps),
+                                move |sim, _| finish(sim),
+                            );
+                        } else {
+                            cluster.subs[spec.subcluster].fabric_link.start_transfer(
+                                sim,
+                                spec.output_bytes,
+                                Some(cluster.cfg.instance.node_nic_bps),
+                                finish,
+                            );
+                        }
+                    });
+                }
+            };
+            if spec.input_bytes <= 0.0 || spec.input == ClusterInput::None {
+                sim.schedule_now(after_read);
+            } else if spec.input == ClusterInput::Wan {
+                let s = store.clone().expect("store checked above");
+                s.read(
+                    sim,
+                    spec.input_bytes,
+                    spec.io_requests,
+                    Some(cluster.cfg.instance.wan_bps),
+                    move |sim, _| after_read(sim),
+                );
+            } else {
+                let sub = &cluster.subs[spec.subcluster];
+                let link = if spec.input == ClusterInput::Master {
+                    &sub.master_link
+                } else {
+                    &sub.fabric_link
+                };
+                link.start_transfer(
+                    sim,
+                    spec.input_bytes,
+                    Some(cluster.cfg.instance.node_nic_bps),
+                    after_read,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn cluster(nodes: usize) -> (VmCluster, CostMeter) {
+        let meter = CostMeter::new();
+        let c = VmCluster::new(
+            ClusterConfig::new(InstanceType::r5_large(), nodes),
+            meter.clone(),
+            &SeedSource::new(7),
+        );
+        (c, meter)
+    }
+
+    fn run(c: &VmCluster, spec: ClusterTaskSpec) -> ClusterRunStats {
+        let mut sim = Simulation::new();
+        let out = Rc::new(RefCell::new(None));
+        let o2 = out.clone();
+        let c2 = c.clone();
+        sim.schedule_now(move |sim| {
+            c2.run_task(sim, None, spec, move |_, stats| {
+                *o2.borrow_mut() = Some(stats);
+            });
+        });
+        sim.run();
+        let stats = out.borrow_mut().take().expect("task completed");
+        stats
+    }
+
+    #[test]
+    fn timesharing_is_work_conserving_without_thrash() {
+        // 8 comps of 10 s on 2 nodes x 2 cores, zero contention coeff:
+        // 4 comps per node timeshare 2 cores. The load is sampled at each
+        // component's compute start (components arriving at the same
+        // instant see loads 1,2,3,4 on their node), so the slowest sees the
+        // full oversubscription of 2 -> makespan 20 s, the same as ideal
+        // wave packing.
+        let (c, _) = cluster(2);
+        let stats = run(&c, ClusterTaskSpec::new("t", 8, 10.0));
+        assert!((stats.makespan().as_secs() - 20.0).abs() < 1e-9);
+        assert_eq!(stats.io_secs, 0.0);
+        // Per node: loads 1,2,3,4 -> factors 1,1,1.5,2 -> 10+10+15+20 s.
+        assert!((stats.compute_secs - 110.0).abs() < 1e-9);
+        assert_eq!(c.peak_node_load(0), 4);
+    }
+
+    #[test]
+    fn memory_pressure_thrash_is_superlinear() {
+        // 8 comps of 4 GiB on one 16 GiB node (2 cores), coeff 0.5:
+        // oversub 4, memory pressure 8*4/16 - 1 = 1 -> factor 4 * 1.5 = 6.
+        let (c, _) = cluster(1);
+        let mut spec = ClusterTaskSpec::new("t", 8, 10.0);
+        spec.contention_coeff = 0.5;
+        spec.memory_gb = 4.0;
+        let stats = run(&c, spec);
+        assert!(
+            (stats.makespan().as_secs() - 60.0).abs() < 1e-6,
+            "{}",
+            stats.makespan().as_secs()
+        );
+    }
+
+    #[test]
+    fn fitting_in_memory_avoids_thrash() {
+        // Same oversubscription, tiny memory: pure timesharing (factor 4).
+        let (c, _) = cluster(1);
+        let mut spec = ClusterTaskSpec::new("t", 8, 10.0);
+        spec.contention_coeff = 0.5;
+        spec.memory_gb = 0.1;
+        let stats = run(&c, spec);
+        assert!((stats.makespan().as_secs() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn under_subscribed_nodes_run_at_full_speed() {
+        let (c, _) = cluster(4);
+        let mut spec = ClusterTaskSpec::new("t", 4, 10.0);
+        spec.contention_coeff = 0.5;
+        spec.memory_gb = 1.0;
+        let stats = run(&c, spec);
+        assert!((stats.makespan().as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeshare_factor_math() {
+        // Below the core count and within memory: no slowdown.
+        assert_eq!(VmCluster::timeshare_factor(2, 2, 1.0, 16.0, 0.5), 1.0);
+        // Pure timesharing.
+        assert!((VmCluster::timeshare_factor(4, 2, 1.0, 16.0, 0.5) - 2.0).abs() < 1e-12);
+        // Timesharing + swap thrash: load 16 x 2 GiB on 16 GiB -> pressure 1.
+        let f = VmCluster::timeshare_factor(16, 2, 2.0, 16.0, 0.5);
+        assert!((f - 8.0 * 1.5).abs() < 1e-12);
+        // Thrash grows linearly with the memory deficit.
+        let f2 = VmCluster::timeshare_factor(32, 2, 2.0, 16.0, 0.5);
+        assert!((f2 - 16.0 * 2.5).abs() < 1e-12);
+        // ... but saturates at MAX_THRASH.
+        let f3 = VmCluster::timeshare_factor(256, 2, 2.0, 16.0, 2.0);
+        assert!((f3 - 128.0 * VmCluster::MAX_THRASH).abs() < 1e-9);
+    }
+
+    #[test]
+    fn master_ingest_is_shared_within_subcluster() {
+        // 4 comps each pulling 2.5 GB of initial data through the 2.5 GB/s
+        // master ingest NIC: 10 GB total -> 4 s of I/O, then 1 s compute.
+        let (c, _) = cluster(4);
+        let mut spec = ClusterTaskSpec::new("t", 4, 1.0);
+        spec.input_bytes = 2.5e9;
+        spec.input = ClusterInput::Master;
+        let stats = run(&c, spec);
+        assert!(
+            (stats.makespan().as_secs() - 5.0).abs() < 1e-6,
+            "{}",
+            stats.makespan().as_secs()
+        );
+    }
+
+    #[test]
+    fn fabric_scales_with_node_count() {
+        // 16 comps each moving 1.25 GB over the fabric. On 2 nodes the
+        // fabric is max(nic, 2*nic/2) = 1.25 GB/s -> 16 s; on 16 nodes it
+        // is 10 GB/s -> 2 s.
+        for (nodes, expect) in [(2usize, 16.0), (16usize, 2.0)] {
+            let (c, _) = cluster(nodes);
+            let mut spec = ClusterTaskSpec::new("t", 16, 0.0);
+            spec.input_bytes = 1.25e9;
+            spec.input = ClusterInput::Fabric;
+            let stats = run(&c, spec);
+            assert!(
+                (stats.makespan().as_secs() - expect).abs() < 1e-6,
+                "{} nodes: {}",
+                nodes,
+                stats.makespan().as_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_flows_are_capped_by_the_node_nic() {
+        // A single component cannot pull faster than its own NIC even on a
+        // big cluster: 2.5 GB at 1.25 GB/s = 2 s.
+        let (c, _) = cluster(32);
+        let mut spec = ClusterTaskSpec::new("t", 1, 0.0);
+        spec.input_bytes = 2.5e9;
+        spec.input = ClusterInput::Fabric;
+        let stats = run(&c, spec);
+        assert!((stats.makespan().as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subclusters_have_independent_masters() {
+        let meter = CostMeter::new();
+        let c = VmCluster::new(
+            ClusterConfig::new(InstanceType::r5_large(), 4).with_subclusters(2),
+            meter,
+            &SeedSource::new(7),
+        );
+        let mut sim = Simulation::new();
+        let ends = Rc::new(RefCell::new(Vec::new()));
+        for sub in 0..2 {
+            let mut spec = ClusterTaskSpec::new(format!("t{sub}"), 4, 0.0);
+            spec.input_bytes = 1.25e9;
+            spec.input = ClusterInput::Master;
+            spec.subcluster = sub;
+            let c2 = c.clone();
+            let ends2 = ends.clone();
+            sim.schedule_now(move |sim| {
+                c2.run_task(sim, None, spec, move |sim, _| {
+                    ends2.borrow_mut().push(sim.now().as_secs());
+                });
+            });
+        }
+        sim.run();
+        // Each subcluster ingests 4 x 1.25 GB over its own 2.5 GB/s master:
+        // 2 s each, in parallel (4 s if they shared one master).
+        for &e in ends.borrow().iter() {
+            assert!((e - 2.0).abs() < 1e-6, "end {e}");
+        }
+    }
+
+    #[test]
+    fn billing_charges_node_time() {
+        let (c, meter) = cluster(4);
+        c.start_billing(SimTime::ZERO);
+        c.start_billing(SimTime::from_secs(10.0)); // idempotent
+        c.stop_billing(SimTime::from_secs(3600.0));
+        let e = meter.expense(0.0);
+        // 4 nodes x 1 h x $0.12.
+        assert!((e.vm_dollars - 0.48).abs() < 1e-9);
+        assert_eq!(c.billed_node_seconds(), 4.0 * 3600.0);
+    }
+
+    #[test]
+    fn faster_cores_shrink_compute() {
+        let meter = CostMeter::new();
+        let c = VmCluster::new(
+            ClusterConfig::new(InstanceType::r5b_large(), 1),
+            meter,
+            &SeedSource::new(7),
+        );
+        let stats = run(&c, ClusterTaskSpec::new("t", 1, 13.5));
+        assert!((stats.makespan().as_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_cluster_reduces_makespan() {
+        let (small, _) = cluster(2);
+        let (large, _) = cluster(16);
+        let t_small = run(&small, ClusterTaskSpec::new("t", 64, 5.0));
+        let t_large = run(&large, ClusterTaskSpec::new("t", 64, 5.0));
+        assert!(t_large.makespan() < t_small.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "WAN I/O requires an object store")]
+    fn wan_io_without_store_panics() {
+        let (c, _) = cluster(1);
+        let mut spec = ClusterTaskSpec::new("t", 1, 1.0);
+        spec.input = ClusterInput::Wan;
+        run(&c, spec);
+    }
+}

@@ -1,0 +1,283 @@
+//! Instance catalogs, serverless platform constants, and storage prices.
+//!
+//! The defaults follow the paper's §4 methodology: VM nodes are priced like
+//! `r5.large` ($0.12/hr, the same per-unit-time expense as a 3 GB Lambda),
+//! with `m5.large` as the *cheap* family and `r5b.large` as the *expensive*
+//! family. A GCP-like preset backs the portability experiment (§5).
+
+use serde::{Deserialize, Serialize};
+
+/// A VM instance type: the unit of a traditional cluster node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Catalog name, e.g. `"r5.large"`.
+    pub name: String,
+    /// Price per node-hour in dollars.
+    pub price_per_hour: f64,
+    /// Core slots per node (concurrent components).
+    pub cores: usize,
+    /// Memory per node in GiB.
+    pub memory_gb: f64,
+    /// Relative per-core speed (1.0 = reference core; compute seconds are
+    /// divided by this).
+    pub core_speed: f64,
+    /// Per-node NIC bandwidth in bytes/sec. Caps any single node's intake
+    /// or output on the intra-cluster fabric; the fabric's aggregate scales
+    /// with the node count (bisection), so inter-phase data movement is
+    /// cheap on large clusters.
+    pub node_nic_bps: f64,
+    /// Master ingest bandwidth in bytes/sec: the initial dataset is
+    /// distributed from the (sub-cluster) master to the workers
+    /// (Algorithm 1 line 12), so phase-0 inputs funnel through this link
+    /// regardless of cluster size.
+    pub master_nic_bps: f64,
+    /// WAN bandwidth to remote storage in bytes/sec (used when a VM-side
+    /// task exchanges data with the object store in hybrid runs).
+    pub wan_bps: f64,
+}
+
+impl InstanceType {
+    /// The paper's default node: expense-matched to a 3 GB Lambda.
+    pub fn r5_large() -> Self {
+        InstanceType {
+            name: "r5.large".into(),
+            price_per_hour: 0.12,
+            cores: 2,
+            memory_gb: 16.0,
+            core_speed: 1.0,
+            node_nic_bps: 1.25e9,  // 10 Gbps
+            master_nic_bps: 2.5e9, // staged ingest across two NIC queues
+            wan_bps: 1.0e9,
+        }
+    }
+
+    /// The paper's *cheap VM family*.
+    pub fn m5_large() -> Self {
+        InstanceType {
+            name: "m5.large".into(),
+            price_per_hour: 0.08,
+            cores: 2,
+            memory_gb: 8.0,
+            core_speed: 0.85,
+            node_nic_bps: 1.0e9,
+            master_nic_bps: 2.0e9,
+            wan_bps: 0.8e9,
+        }
+    }
+
+    /// The paper's *expensive VM family* (more compute/memory/network
+    /// capacity, §5).
+    pub fn r5b_large() -> Self {
+        InstanceType {
+            name: "r5b.large".into(),
+            price_per_hour: 0.15,
+            cores: 2,
+            memory_gb: 16.0,
+            core_speed: 1.35,
+            node_nic_bps: 2.5e9,
+            master_nic_bps: 4.0e9,
+            wan_bps: 1.6e9,
+        }
+    }
+}
+
+/// Serverless platform constants (AWS-Lambda-like by default).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaasConfig {
+    /// Memory per function in GiB (paper: 3 GB Lambdas).
+    pub memory_gb: f64,
+    /// Price per function-hour in dollars (paper: $0.12/hr/function).
+    pub price_per_hour: f64,
+    /// Hard execution time limit in seconds (paper: 15 minutes).
+    pub timeout_secs: f64,
+    /// Cold-start latency range `(min, max)` seconds, sampled uniformly.
+    pub cold_start_secs: (f64, f64),
+    /// Warm-start latency in seconds.
+    pub warm_start_secs: f64,
+    /// How long a finished microVM stays warm (paper: providers keep
+    /// microVMs alive 5–10 minutes).
+    pub keep_alive_secs: f64,
+    /// Number of functions the scheduler can start instantly (burst).
+    pub burst_capacity: usize,
+    /// Sustained function-start rate beyond the burst, starts/sec.
+    /// This produces the linear scaling time of Fig. 4(c).
+    pub ramp_per_sec: f64,
+    /// Per-function bandwidth cap to remote storage, bytes/sec.
+    pub per_function_bps: f64,
+    /// Per-component relative per-core speed of a function (vs the reference
+    /// VM core; functions typically run on weaker shared cores).
+    pub core_speed: f64,
+    /// Probability that an invocation is killed by a platform failure at a
+    /// random point of its window (0 disables). The executor recovers from
+    /// the last checkpoint — the §3 failure story.
+    #[serde(default)]
+    pub failure_prob: f64,
+}
+
+impl FaasConfig {
+    /// AWS-Lambda-like defaults.
+    pub fn aws_like() -> Self {
+        FaasConfig {
+            memory_gb: 3.0,
+            price_per_hour: 0.12,
+            timeout_secs: 900.0,
+            cold_start_secs: (0.6, 2.6),
+            warm_start_secs: 0.06,
+            keep_alive_secs: 420.0,
+            burst_capacity: 64,
+            ramp_per_sec: 4.0,
+            per_function_bps: 5.0e7, // 50 MB/s per function
+            core_speed: 1.0,
+            failure_prob: 0.0,
+        }
+    }
+
+    /// GCP-Cloud-Functions-like preset (slower starts, slower ramp).
+    pub fn gcp_like() -> Self {
+        FaasConfig {
+            memory_gb: 4.0,
+            price_per_hour: 0.115,
+            timeout_secs: 540.0,
+            cold_start_secs: (1.2, 4.5),
+            warm_start_secs: 0.1,
+            keep_alive_secs: 600.0,
+            burst_capacity: 40,
+            ramp_per_sec: 3.0,
+            per_function_bps: 4.0e7,
+            core_speed: 0.95,
+            failure_prob: 0.0,
+        }
+    }
+}
+
+/// Object-store constants (S3-like by default).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// Aggregate data-plane bandwidth in bytes/sec.
+    pub aggregate_bps: f64,
+    /// Per-request latency in seconds.
+    pub request_latency_secs: f64,
+    /// Storage price per GiB-month in dollars.
+    pub price_per_gb_month: f64,
+    /// Price per PUT request in dollars.
+    pub price_per_put: f64,
+    /// Price per GET request in dollars.
+    pub price_per_get: f64,
+    /// Number of replicated copies kept for failure recovery (Mashup
+    /// "maintains multiple copies of remote storage", §3).
+    pub replicas: usize,
+    /// Probability that a single GET attempt fails and is retried from a
+    /// replica (failure injection; 0 disables).
+    pub get_failure_prob: f64,
+}
+
+impl StorageConfig {
+    /// S3-like defaults.
+    ///
+    /// The aggregate bandwidth is deliberately modest: the paper (and the
+    /// authors' IISWC'21 serverless-I/O characterization it cites) observes
+    /// that remote-storage bandwidth throttles stateless execution at high
+    /// concurrency — the intra-cluster fabric scales with node count while
+    /// the store does not, which is why I/O-heavy tasks prefer the VM
+    /// cluster.
+    pub fn s3_like() -> Self {
+        StorageConfig {
+            aggregate_bps: 2.0e9,
+            request_latency_secs: 0.03,
+            price_per_gb_month: 0.023,
+            price_per_put: 5.0e-6,
+            price_per_get: 4.0e-7,
+            replicas: 2,
+            get_failure_prob: 0.0,
+        }
+    }
+
+    /// GCS-like preset.
+    pub fn gcs_like() -> Self {
+        StorageConfig {
+            aggregate_bps: 5.0e9,
+            request_latency_secs: 0.04,
+            price_per_gb_month: 0.020,
+            price_per_put: 5.0e-6,
+            price_per_get: 4.0e-7,
+            replicas: 2,
+            get_failure_prob: 0.0,
+        }
+    }
+}
+
+/// A bundle of provider constants: the knobs that differ between clouds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderPreset {
+    /// Provider label.
+    pub name: String,
+    /// Serverless platform constants.
+    pub faas: FaasConfig,
+    /// Object-store constants.
+    pub storage: StorageConfig,
+}
+
+impl ProviderPreset {
+    /// AWS-like provider (the paper's main evaluation platform).
+    pub fn aws_like() -> Self {
+        ProviderPreset {
+            name: "aws-like".into(),
+            faas: FaasConfig::aws_like(),
+            storage: StorageConfig::s3_like(),
+        }
+    }
+
+    /// GCP-like provider (the paper's §5 portability check).
+    pub fn gcp_like() -> Self {
+        ProviderPreset {
+            name: "gcp-like".into(),
+            faas: FaasConfig::gcp_like(),
+            storage: StorageConfig::gcs_like(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_node_matches_lambda_price() {
+        // §4: r5.large chosen because it costs the same per unit time as a
+        // 3 GB Lambda.
+        let vm = InstanceType::r5_large();
+        let faas = FaasConfig::aws_like();
+        assert_eq!(vm.price_per_hour, faas.price_per_hour);
+        assert_eq!(faas.memory_gb, 3.0);
+        assert_eq!(faas.timeout_secs, 900.0);
+    }
+
+    #[test]
+    fn families_are_ordered_by_price_and_capacity() {
+        let cheap = InstanceType::m5_large();
+        let default = InstanceType::r5_large();
+        let expensive = InstanceType::r5b_large();
+        assert!(cheap.price_per_hour < default.price_per_hour);
+        assert!(default.price_per_hour < expensive.price_per_hour);
+        assert!(cheap.core_speed < expensive.core_speed);
+        assert!(cheap.master_nic_bps < expensive.master_nic_bps);
+        assert!(cheap.node_nic_bps < expensive.node_nic_bps);
+    }
+
+    #[test]
+    fn gcp_preset_differs_from_aws() {
+        let a = ProviderPreset::aws_like();
+        let g = ProviderPreset::gcp_like();
+        assert_ne!(a.faas, g.faas);
+        assert_ne!(a.storage, g.storage);
+        assert!(g.faas.cold_start_secs.0 > a.faas.cold_start_secs.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ProviderPreset::aws_like();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: ProviderPreset = serde_json::from_str(&json).expect("parse");
+        assert_eq!(p, back);
+    }
+}

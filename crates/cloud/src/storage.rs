@@ -1,0 +1,350 @@
+//! The remote object store (S3-like).
+//!
+//! Hybrid execution exchanges all cross-platform data through this store
+//! (paper §3: "the only way serverless functions can share data among
+//! multiple phases is to communicate via external remote storage").
+//!
+//! Timing and correctness are handled at two levels:
+//!
+//! * **byte flows** — [`ObjectStore::read`]/[`ObjectStore::write`] move
+//!   bytes over a max-min fair-share data-plane link with per-request
+//!   latency and optional per-flow caps (a Lambda's NIC, a cluster's WAN),
+//!   so aggregate-bandwidth contention between hundreds of concurrent
+//!   functions emerges naturally;
+//! * **keyed objects** — executors register logical objects
+//!   ([`ObjectStore::register_object`]) so occupancy cost is metered and
+//!   consumers can assert their producers' data exists
+//!   ([`ObjectStore::assert_present`]), catching scheduling bugs.
+//!
+//! GET failure injection exercises the replica-recovery path: a failed
+//! attempt retries from a replica after an extra round trip.
+
+use crate::cost::CostMeter;
+use crate::pricing::StorageConfig;
+use mashup_sim::{SeedSource, SharedLink, SimDuration, SimTime, Simulation};
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+struct StoreState {
+    objects: BTreeMap<String, (f64, SimTime)>, // bytes, put time (ordered for deterministic settlement)
+    bytes_stored: f64,
+    peak_bytes: f64,
+    reads: u64,
+    writes: u64,
+    injected_failures: u64,
+}
+
+/// A shareable S3-like object store. Cloning shares the same store.
+#[derive(Clone)]
+pub struct ObjectStore {
+    cfg: StorageConfig,
+    link: SharedLink,
+    meter: CostMeter,
+    state: Rc<RefCell<StoreState>>,
+    rng: Rc<RefCell<rand::rngs::StdRng>>,
+}
+
+impl ObjectStore {
+    /// Creates a store with the given configuration, charging `meter`.
+    pub fn new(cfg: StorageConfig, meter: CostMeter, seeds: &SeedSource) -> Self {
+        ObjectStore {
+            link: SharedLink::new("object-store", cfg.aggregate_bps),
+            rng: Rc::new(RefCell::new(seeds.stream("object-store"))),
+            cfg,
+            meter,
+            state: Rc::new(RefCell::new(StoreState {
+                objects: BTreeMap::new(),
+                bytes_stored: 0.0,
+                peak_bytes: 0.0,
+                reads: 0,
+                writes: 0,
+                injected_failures: 0,
+            })),
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.cfg
+    }
+
+    /// The data-plane link (exposed for utilization traces).
+    pub fn link(&self) -> &SharedLink {
+        &self.link
+    }
+
+    /// Reads `bytes` spread over `requests` GET requests, under an optional
+    /// per-flow bandwidth cap. `on_done` receives the wall time of the read.
+    ///
+    /// With failure injection enabled, a failed first attempt retries from a
+    /// replica after an extra request round trip.
+    pub fn read(
+        &self,
+        sim: &mut Simulation,
+        bytes: f64,
+        requests: u64,
+        per_flow_cap: Option<f64>,
+        on_done: impl FnOnce(&mut Simulation, SimDuration) + 'static,
+    ) {
+        let begin = sim.now();
+        {
+            let mut s = self.state.borrow_mut();
+            s.reads += requests;
+        }
+        self.meter
+            .charge_storage_requests(requests, self.cfg.price_per_get);
+        let mut latency = self.cfg.request_latency_secs;
+        if self.cfg.get_failure_prob > 0.0 {
+            let failed = self.rng.borrow_mut().gen::<f64>() < self.cfg.get_failure_prob;
+            if failed {
+                // One failed round trip, then the replica answers.
+                self.state.borrow_mut().injected_failures += 1;
+                self.meter
+                    .charge_storage_requests(requests, self.cfg.price_per_get);
+                latency += 2.0 * self.cfg.request_latency_secs;
+            }
+        }
+        let link = self.link.clone();
+        sim.schedule_in(SimDuration::from_secs(latency), move |sim| {
+            link.start_transfer(sim, bytes, per_flow_cap, move |sim| {
+                on_done(sim, sim.now().since(begin));
+            });
+        });
+    }
+
+    /// Writes `bytes` spread over `requests` PUT requests, under an optional
+    /// per-flow cap. Requests are charged for every replica.
+    pub fn write(
+        &self,
+        sim: &mut Simulation,
+        bytes: f64,
+        requests: u64,
+        per_flow_cap: Option<f64>,
+        on_done: impl FnOnce(&mut Simulation, SimDuration) + 'static,
+    ) {
+        let begin = sim.now();
+        {
+            let mut s = self.state.borrow_mut();
+            s.writes += requests;
+        }
+        self.meter.charge_storage_requests(
+            requests * self.cfg.replicas as u64,
+            self.cfg.price_per_put,
+        );
+        let link = self.link.clone();
+        let latency = SimDuration::from_secs(self.cfg.request_latency_secs);
+        sim.schedule_in(latency, move |sim| {
+            link.start_transfer(sim, bytes, per_flow_cap, move |sim| {
+                on_done(sim, sim.now().since(begin));
+            });
+        });
+    }
+
+    /// Registers a logical object for occupancy accounting and presence
+    /// checks. Overwriting an existing key first settles its occupancy.
+    pub fn register_object(&self, now: SimTime, key: impl Into<String>, bytes: f64) {
+        let key = key.into();
+        let mut s = self.state.borrow_mut();
+        if let Some((old_bytes, put_at)) = s.objects.remove(&key) {
+            s.bytes_stored -= old_bytes;
+            let held = now.saturating_since(put_at).as_secs();
+            self.meter
+                .charge_storage_occupancy(old_bytes * self.cfg.replicas as f64, held);
+        }
+        s.bytes_stored += bytes;
+        s.peak_bytes = s.peak_bytes.max(s.bytes_stored);
+        s.objects.insert(key, (bytes, now));
+    }
+
+    /// Removes a logical object, settling its occupancy charge.
+    pub fn remove_object(&self, now: SimTime, key: &str) {
+        let mut s = self.state.borrow_mut();
+        if let Some((bytes, put_at)) = s.objects.remove(key) {
+            s.bytes_stored -= bytes;
+            let held = now.saturating_since(put_at).as_secs();
+            self.meter
+                .charge_storage_occupancy(bytes * self.cfg.replicas as f64, held);
+        }
+    }
+
+    /// Panics unless `key` was registered — consumers call this to assert
+    /// their producers' outputs exist (a scheduling-order sanity check).
+    pub fn assert_present(&self, key: &str) {
+        assert!(
+            self.state.borrow().objects.contains_key(key),
+            "object '{key}' read before it was written: executor scheduling bug"
+        );
+    }
+
+    /// True if the logical object exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.state.borrow().objects.contains_key(key)
+    }
+
+    /// Settles occupancy charges for everything still stored, as of `now`.
+    /// Call once at the end of a run.
+    pub fn finalize(&self, now: SimTime) {
+        let keys: Vec<String> = self.state.borrow().objects.keys().cloned().collect();
+        for k in keys {
+            self.remove_object(now, &k);
+        }
+    }
+
+    /// Bytes currently registered.
+    pub fn bytes_stored(&self) -> f64 {
+        self.state.borrow().bytes_stored
+    }
+
+    /// Peak registered bytes.
+    pub fn peak_bytes(&self) -> f64 {
+        self.state.borrow().peak_bytes
+    }
+
+    /// GET requests issued.
+    pub fn read_requests(&self) -> u64 {
+        self.state.borrow().reads
+    }
+
+    /// PUT requests issued.
+    pub fn write_requests(&self) -> u64 {
+        self.state.borrow().writes
+    }
+
+    /// Number of injected GET failures recovered from replicas.
+    pub fn injected_failures(&self) -> u64 {
+        self.state.borrow().injected_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn store(cfg: StorageConfig) -> (ObjectStore, CostMeter) {
+        let meter = CostMeter::new();
+        let s = ObjectStore::new(cfg, meter.clone(), &SeedSource::new(1));
+        (s, meter)
+    }
+
+    #[test]
+    fn read_takes_latency_plus_transfer() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.aggregate_bps = 100.0;
+        cfg.request_latency_secs = 1.0;
+        let (s, _) = store(cfg);
+        let mut sim = Simulation::new();
+        let done_at = Rc::new(Cell::new(0.0));
+        let d2 = done_at.clone();
+        let s2 = s.clone();
+        sim.schedule_now(move |sim| {
+            s2.read(sim, 1000.0, 1, None, move |sim, dur| {
+                d2.set(sim.now().as_secs());
+                assert!((dur.as_secs() - 11.0).abs() < 1e-9);
+            });
+        });
+        sim.run();
+        assert!((done_at.get() - 11.0).abs() < 1e-9);
+        assert_eq!(s.read_requests(), 1);
+    }
+
+    #[test]
+    fn per_flow_cap_applies() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.aggregate_bps = 1e9;
+        cfg.request_latency_secs = 0.0;
+        let (s, _) = store(cfg);
+        let mut sim = Simulation::new();
+        let s2 = s.clone();
+        let end = Rc::new(Cell::new(0.0));
+        let e2 = end.clone();
+        sim.schedule_now(move |sim| {
+            s2.write(sim, 1000.0, 1, Some(10.0), move |sim, _| {
+                e2.set(sim.now().as_secs())
+            });
+        });
+        sim.run();
+        assert!((end.get() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_reads_share_aggregate_bandwidth() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.aggregate_bps = 100.0;
+        cfg.request_latency_secs = 0.0;
+        let (s, _) = store(cfg);
+        let mut sim = Simulation::new();
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let s2 = s.clone();
+            let d = done.clone();
+            sim.schedule_now(move |sim| {
+                s2.read(sim, 500.0, 1, None, move |sim, _| {
+                    assert!((sim.now().as_secs() - 10.0).abs() < 1e-9);
+                    d.set(d.get() + 1);
+                });
+            });
+        }
+        sim.run();
+        assert_eq!(done.get(), 2);
+    }
+
+    #[test]
+    fn occupancy_charged_on_remove_and_finalize() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.replicas = 2;
+        let (s, meter) = store(cfg.clone());
+        s.register_object(SimTime::ZERO, "a", 1e9);
+        s.register_object(SimTime::ZERO, "b", 1e9);
+        assert_eq!(s.bytes_stored(), 2e9);
+        s.remove_object(SimTime::from_secs(3600.0), "a");
+        assert_eq!(s.bytes_stored(), 1e9);
+        s.finalize(SimTime::from_secs(3600.0));
+        assert_eq!(s.bytes_stored(), 0.0);
+        // 2 objects * 1 GB * 1 h * 2 replicas.
+        let month = 30.0 * 24.0 * 3600.0;
+        let expect = 2.0 * 2.0 * 3600.0 / month * cfg.price_per_gb_month;
+        let e = meter.expense(cfg.price_per_gb_month);
+        assert!((e.storage_dollars - expect).abs() < 1e-9, "{e:?}");
+        assert_eq!(s.peak_bytes(), 2e9);
+    }
+
+    #[test]
+    fn overwrite_settles_old_occupancy() {
+        let (s, _) = store(StorageConfig::s3_like());
+        s.register_object(SimTime::ZERO, "k", 100.0);
+        s.register_object(SimTime::from_secs(10.0), "k", 300.0);
+        assert_eq!(s.bytes_stored(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling bug")]
+    fn assert_present_catches_missing_objects() {
+        let (s, _) = store(StorageConfig::s3_like());
+        s.assert_present("nope");
+    }
+
+    #[test]
+    fn failure_injection_triggers_retries() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.get_failure_prob = 1.0;
+        cfg.request_latency_secs = 1.0;
+        cfg.aggregate_bps = 1e9;
+        let (s, _) = store(cfg);
+        let mut sim = Simulation::new();
+        let s2 = s.clone();
+        let end = Rc::new(Cell::new(0.0));
+        let e2 = end.clone();
+        sim.schedule_now(move |sim| {
+            s2.read(sim, 0.0, 1, None, move |sim, _| e2.set(sim.now().as_secs()));
+        });
+        sim.run();
+        // 1 s base latency + 2 s failure round trip.
+        assert!((end.get() - 3.0).abs() < 1e-9);
+        assert_eq!(s.injected_failures(), 1);
+        // Both the failed and the replica GET are charged.
+        assert_eq!(s.read_requests(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Integration test: chained cluster tasks exchanging data through the
+//! master NIC (regression test for an event-loop livelock).
+
+use mashup_cloud::{ClusterConfig, ClusterTaskSpec, CostMeter, InstanceType, VmCluster};
+use mashup_sim::{SeedSource, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn wide_task_feeding_merge_through_master_terminates() {
+    let mut sim = Simulation::new().with_event_limit(5_000_000);
+    let meter = CostMeter::new();
+    let cluster = VmCluster::new(
+        ClusterConfig::new(InstanceType::r5_large(), 8),
+        meter,
+        &SeedSource::new(42),
+    );
+    let done = Rc::new(RefCell::new(None));
+
+    let mut wide = ClusterTaskSpec::new("wide", 64, 5.0);
+    wide.output_bytes = 1.0e7;
+    let mut merge = ClusterTaskSpec::new("merge", 1, 10.0);
+    merge.input_bytes = 6.4e8;
+    merge.output_bytes = 1.0e7;
+
+    let c2 = cluster.clone();
+    let d2 = done.clone();
+    let c3 = cluster.clone();
+    sim.schedule_now(move |sim| {
+        c2.run_task(sim, None, wide, move |sim, _| {
+            let d3 = d2.clone();
+            c3.run_task(sim, None, merge, move |sim, stats| {
+                *d3.borrow_mut() = Some((sim.now().as_secs(), stats));
+            });
+        });
+    });
+    sim.run();
+    let (end, _) = done.borrow_mut().take().expect("chain completed");
+    assert!(end > 0.0);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the cloud models.
+
+use mashup_cloud::{
+    run_task_on_faas, ClusterConfig, ClusterTaskSpec, CostMeter, FaasConfig, FaasPlatform,
+    FaasTaskSpec, InstanceType, ObjectStore, StorageConfig, VmCluster,
+};
+use mashup_sim::{SeedSource, Simulation};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_cluster_task(nodes: usize, spec: ClusterTaskSpec) -> f64 {
+    let mut sim = Simulation::new();
+    let cluster = VmCluster::new(
+        ClusterConfig::new(InstanceType::r5_large(), nodes),
+        CostMeter::new(),
+        &SeedSource::new(1),
+    );
+    let out = Rc::new(RefCell::new(None));
+    let o2 = out.clone();
+    let c2 = cluster.clone();
+    sim.schedule_now(move |sim| {
+        c2.run_task(sim, None, spec, move |_, stats| {
+            *o2.borrow_mut() = Some(stats.makespan().as_secs());
+        });
+    });
+    sim.run();
+    let v = out.borrow_mut().take().expect("completed");
+    v
+}
+
+fn run_faas_task(spec: FaasTaskSpec) -> mashup_cloud::FaasRunStats {
+    let mut sim = Simulation::new();
+    let meter = CostMeter::new();
+    let seeds = SeedSource::new(2);
+    let mut cfg = FaasConfig::aws_like();
+    cfg.cold_start_secs = (1.0, 1.0);
+    let faas = FaasPlatform::new(cfg, meter.clone(), &seeds);
+    let store = ObjectStore::new(StorageConfig::s3_like(), meter, &seeds);
+    let out = Rc::new(RefCell::new(None));
+    let o2 = out.clone();
+    sim.schedule_now(move |sim| {
+        run_task_on_faas(sim, &faas, &store, spec, &seeds, move |_, stats| {
+            *o2.borrow_mut() = Some(stats);
+        });
+    });
+    sim.run();
+    let v = out.borrow_mut().take().expect("completed");
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More nodes never make a pure-compute task slower.
+    #[test]
+    fn cluster_makespan_is_monotone_in_nodes(
+        comps in 1usize..128,
+        compute in 1u32..60,
+    ) {
+        let small = run_cluster_task(2, ClusterTaskSpec::new("t", comps, compute as f64));
+        let large = run_cluster_task(16, ClusterTaskSpec::new("t", comps, compute as f64));
+        prop_assert!(large <= small + 1e-6, "{large} > {small}");
+    }
+
+    /// The cluster can never beat the work-conserving bound.
+    #[test]
+    fn cluster_respects_work_conservation(
+        nodes in 1usize..32,
+        comps in 1usize..128,
+        compute in 1u32..60,
+    ) {
+        let compute = compute as f64;
+        let makespan = run_cluster_task(nodes, ClusterTaskSpec::new("t", comps, compute));
+        let bound = comps as f64 * compute / (nodes as f64 * 2.0); // 2 cores
+        prop_assert!(makespan >= bound - 1e-6, "{makespan} < bound {bound}");
+        // And memory-free timesharing is exactly work-conserving per node.
+        let per_node = comps.div_ceil(nodes) as f64;
+        let expect = compute * (per_node / 2.0).max(1.0);
+        prop_assert!((makespan - expect).abs() < 1e-6, "{makespan} vs {expect}");
+    }
+
+    /// Thrash never decreases the makespan and never exceeds the cap.
+    #[test]
+    fn thrash_bounds(
+        comps in 4usize..64,
+        mem10 in 0u32..40, // memory in tenths of GiB
+        coeff10 in 0u32..50,
+    ) {
+        let mem = mem10 as f64 / 10.0;
+        let coeff = coeff10 as f64 / 10.0;
+        let mut base = ClusterTaskSpec::new("t", comps, 10.0);
+        base.memory_gb = 0.0;
+        let mut thrashy = ClusterTaskSpec::new("t", comps, 10.0);
+        thrashy.memory_gb = mem;
+        thrashy.contention_coeff = coeff;
+        let t0 = run_cluster_task(1, base);
+        let t1 = run_cluster_task(1, thrashy);
+        prop_assert!(t1 >= t0 - 1e-9);
+        prop_assert!(t1 <= t0 * VmCluster::MAX_THRASH + 1e-6);
+    }
+
+    /// FaaS makespan and scaling time are monotone in component count, and
+    /// compute work is preserved exactly.
+    #[test]
+    fn faas_scaling_monotone_and_work_preserving(
+        comps in 1usize..256,
+        compute in 1u32..30,
+    ) {
+        let compute = compute as f64;
+        let stats = run_faas_task(FaasTaskSpec::new("t", comps, compute));
+        prop_assert!((stats.compute_secs - comps as f64 * compute).abs() < 1e-6);
+        let bigger = run_faas_task(FaasTaskSpec::new("t", comps + 64, compute));
+        prop_assert!(bigger.scaling_secs() >= stats.scaling_secs() - 1e-6);
+        prop_assert!(bigger.makespan() >= stats.makespan());
+    }
+
+    /// Checkpoint chains preserve total compute and never trip the
+    /// platform's kill watchdog.
+    #[test]
+    fn checkpoint_chains_preserve_work(compute in 100u32..4000) {
+        let compute = compute as f64;
+        let mut spec = FaasTaskSpec::new("long", 1, compute);
+        spec.checkpoint_bytes = 1.0e8;
+        spec.checkpoint_margin_secs = 30.0;
+        let stats = run_faas_task(spec);
+        prop_assert!((stats.compute_secs - compute).abs() < 1e-6);
+        // Each segment computes for at most (timeout - margin) seconds and
+        // resume segments additionally spend ~2 s re-reading the checkpoint,
+        // so the chain length brackets the ideal count.
+        let usable = 900.0 - 30.0;
+        let ideal = (compute / usable).ceil() as u64;
+        let chains = stats.checkpoints + 1;
+        prop_assert!(
+            chains >= ideal.max(1) && chains <= ideal.max(1) + 1,
+            "chains {chains} vs ideal {ideal}"
+        );
+    }
+
+    /// Expense accounting is additive: running two tasks costs the sum of
+    /// running each alone (FaaS side, no shared-cluster billing).
+    #[test]
+    fn faas_cost_is_additive(a in 1usize..32, b in 1usize..32) {
+        let cost = |comps: usize| {
+            let mut sim = Simulation::new();
+            let meter = CostMeter::new();
+            let seeds = SeedSource::new(3);
+            let mut cfg = FaasConfig::aws_like();
+            cfg.cold_start_secs = (1.0, 1.0);
+            let faas = FaasPlatform::new(cfg, meter.clone(), &seeds);
+            let store = ObjectStore::new(StorageConfig::s3_like(), meter.clone(), &seeds);
+            let f2 = faas.clone();
+            let s2 = store.clone();
+            sim.schedule_now(move |sim| {
+                run_task_on_faas(sim, &f2, &s2, FaasTaskSpec::new("t", comps, 5.0), &seeds, |_, _| {});
+            });
+            sim.run();
+            meter.expense(0.0).faas_dollars
+        };
+        let together = cost(a + b);
+        let separate = cost(a) + cost(b);
+        // Warm reuse can only make the joint run cheaper or equal.
+        prop_assert!(together <= separate + 1e-9, "{together} > {separate}");
+    }
+}

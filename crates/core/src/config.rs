@@ -1,0 +1,179 @@
+//! Mashup engine configuration and the simulated cloud environment.
+
+use mashup_cloud::{
+    ClusterConfig, CostMeter, FaasPlatform, InstanceType, ObjectStore, ProviderPreset, VmCluster,
+};
+use mashup_sim::{SeedSource, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Everything Mashup needs to know about the target environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MashupConfig {
+    /// Provider constants (FaaS + storage).
+    pub provider: ProviderPreset,
+    /// VM cluster shape.
+    pub cluster: ClusterConfig,
+    /// Base seed for all stochastic elements.
+    pub seed: u64,
+    /// Seconds before the FaaS deadline at which checkpoints are taken
+    /// (paper: 30 s). Widened automatically per task when the checkpoint
+    /// itself needs longer to write.
+    pub checkpoint_margin_secs: f64,
+    /// Pre-warm serverless tasks of the next phase while the current phase
+    /// runs (§3: "Mashup actively pre-warms the task by prefetching").
+    pub prewarm: bool,
+    /// Maximum number of microVMs pre-warmed per task.
+    pub prewarm_cap: usize,
+    /// Conservative cold-start seconds always added to serverless estimates
+    /// during PDC decision-making (paper: 2 s).
+    pub conservative_cold_start_secs: f64,
+    /// Tasks with per-component serverless runtime below this threshold are
+    /// placed on the VM cluster unless the recurring-task exception applies
+    /// (paper: 1 s).
+    pub short_task_threshold_secs: f64,
+}
+
+impl MashupConfig {
+    /// AWS-like defaults on `nodes` r5.large nodes (the paper's main
+    /// configuration).
+    pub fn aws(nodes: usize) -> Self {
+        MashupConfig {
+            provider: ProviderPreset::aws_like(),
+            cluster: ClusterConfig::new(InstanceType::r5_large(), nodes),
+            seed: 42,
+            checkpoint_margin_secs: 30.0,
+            prewarm: true,
+            prewarm_cap: 256,
+            conservative_cold_start_secs: 2.0,
+            short_task_threshold_secs: 1.0,
+        }
+    }
+
+    /// Same but on the *cheap* VM family (m5.large).
+    pub fn aws_cheap(nodes: usize) -> Self {
+        let mut c = Self::aws(nodes);
+        c.cluster = ClusterConfig::new(InstanceType::m5_large(), nodes);
+        c
+    }
+
+    /// Same but on the *expensive* VM family (r5b.large).
+    pub fn aws_expensive(nodes: usize) -> Self {
+        let mut c = Self::aws(nodes);
+        c.cluster = ClusterConfig::new(InstanceType::r5b_large(), nodes);
+        c
+    }
+
+    /// GCP-like provider on `nodes` default nodes (§5 portability study).
+    pub fn gcp(nodes: usize) -> Self {
+        let mut c = Self::aws(nodes);
+        c.provider = ProviderPreset::gcp_like();
+        c
+    }
+
+    /// Builder-style: overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: splits the cluster into `k` sub-clusters.
+    pub fn with_subclusters(mut self, k: usize) -> Self {
+        self.cluster = self.cluster.with_subclusters(k);
+        self
+    }
+
+    /// The effective checkpoint margin for a task with `checkpoint_bytes`
+    /// of state: at least the configured margin, widened so the checkpoint
+    /// write (at the per-function bandwidth) fits with 20 % headroom.
+    pub fn margin_for(&self, checkpoint_bytes: f64) -> f64 {
+        let write_secs = checkpoint_bytes / self.provider.faas.per_function_bps;
+        self.checkpoint_margin_secs.max(write_secs * 1.2)
+    }
+}
+
+/// One instantiated simulated environment: engine + cluster + FaaS + store
+/// sharing a cost meter. Each workflow execution gets a fresh environment so
+/// runs never contaminate each other.
+pub struct CloudEnv {
+    /// The discrete-event engine.
+    pub sim: Simulation,
+    /// The VM cluster.
+    pub cluster: VmCluster,
+    /// The serverless platform.
+    pub faas: FaasPlatform,
+    /// The object store.
+    pub store: ObjectStore,
+    /// The shared expense meter.
+    pub meter: CostMeter,
+    /// Seed source for executors.
+    pub seeds: SeedSource,
+}
+
+impl CloudEnv {
+    /// Builds a fresh environment from `cfg`.
+    pub fn new(cfg: &MashupConfig) -> Self {
+        let meter = CostMeter::new();
+        let seeds = SeedSource::new(cfg.seed);
+        CloudEnv {
+            sim: Simulation::new(),
+            cluster: VmCluster::new(cfg.cluster.clone(), meter.clone(), &seeds),
+            faas: FaasPlatform::new(cfg.provider.faas.clone(), meter.clone(), &seeds),
+            store: ObjectStore::new(cfg.provider.storage.clone(), meter.clone(), &seeds),
+            meter,
+            seeds,
+        }
+    }
+
+    /// Builds an environment whose stochastic streams differ from the
+    /// default (used for honest PDC profiling: the profiling run must not
+    /// share jitter draws with the production run).
+    pub fn with_seed_offset(cfg: &MashupConfig, offset: u64) -> Self {
+        let mut shifted = cfg.clone();
+        shifted.seed = cfg.seed.wrapping_add(offset);
+        Self::new(&shifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_right_places() {
+        let base = MashupConfig::aws(48);
+        let cheap = MashupConfig::aws_cheap(48);
+        let exp = MashupConfig::aws_expensive(48);
+        let gcp = MashupConfig::gcp(48);
+        assert_eq!(base.cluster.instance.name, "r5.large");
+        assert_eq!(cheap.cluster.instance.name, "m5.large");
+        assert_eq!(exp.cluster.instance.name, "r5b.large");
+        assert_eq!(gcp.provider.name, "gcp-like");
+        assert_eq!(base.cluster.nodes, 48);
+    }
+
+    #[test]
+    fn margin_widens_for_large_checkpoints() {
+        let cfg = MashupConfig::aws(4);
+        assert_eq!(cfg.margin_for(0.0), 30.0);
+        // 5 GB at 50 MB/s = 100 s -> margin 120 s.
+        let m = cfg.margin_for(5.0e9);
+        assert!((m - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_construction_is_self_consistent() {
+        let cfg = MashupConfig::aws(8);
+        let env = CloudEnv::new(&cfg);
+        assert_eq!(env.cluster.config().nodes, 8);
+        assert_eq!(env.faas.config().timeout_secs, 900.0);
+        assert_eq!(env.sim.now().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = MashupConfig::aws(16).with_subclusters(2);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: MashupConfig = serde_json::from_str(&json).expect("parse");
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,144 @@
+//! The top-level Mashup engine: PDC + hybrid execution in one call.
+
+use crate::config::MashupConfig;
+use crate::exec::execute;
+use crate::naive::plan_without_pdc;
+use crate::pdc::{Objective, Pdc, PdcReport};
+use crate::report::WorkflowReport;
+use mashup_dag::Workflow;
+use serde::{Deserialize, Serialize};
+
+/// The result of a full Mashup run: the PDC's reasoning plus the hybrid
+/// execution it drove.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MashupOutcome {
+    /// The PDC's calibration, per-task decisions, and profiling costs.
+    pub pdc: PdcReport,
+    /// The production hybrid execution.
+    pub report: WorkflowReport,
+}
+
+/// The Mashup workflow engine.
+///
+/// # Example
+/// ```
+/// use mashup_core::{Mashup, MashupConfig};
+/// use mashup_dag::{Task, TaskProfile, WorkflowBuilder};
+///
+/// let mut b = WorkflowBuilder::new("demo");
+/// b.initial_input_bytes(1.0e6);
+/// b.begin_phase();
+/// b.add_task(Task::new("wide", 64, TaskProfile::trivial().compute(5.0)));
+/// let workflow = b.build().expect("valid");
+///
+/// let outcome = Mashup::new(MashupConfig::aws(2)).run(&workflow);
+/// assert!(outcome.report.makespan_secs > 0.0);
+/// ```
+pub struct Mashup {
+    cfg: MashupConfig,
+    objective: Objective,
+}
+
+impl Mashup {
+    /// Creates an engine optimizing execution time (the paper's default).
+    pub fn new(cfg: MashupConfig) -> Self {
+        Mashup {
+            cfg,
+            objective: Objective::ExecutionTime,
+        }
+    }
+
+    /// Builder-style: changes the PDC objective (Fig. 5 study).
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MashupConfig {
+        &self.cfg
+    }
+
+    /// Full pipeline: PDC profiling + decision, then hybrid execution on
+    /// the VM configuration the PDC found best.
+    pub fn run(&self, workflow: &Workflow) -> MashupOutcome {
+        let pdc = Pdc::new(self.cfg.clone())
+            .with_objective(self.objective)
+            .decide(workflow);
+        let tuned = self.cfg.clone().with_subclusters(pdc.subclusters);
+        let report = execute(&tuned, workflow, &pdc.plan, "mashup");
+        MashupOutcome { pdc, report }
+    }
+
+    /// Executes with the w/o-PDC threshold plan (paper's "Mashup w/o PDC").
+    pub fn run_without_pdc(&self, workflow: &Workflow) -> WorkflowReport {
+        let plan = plan_without_pdc(&self.cfg, workflow);
+        execute(&self.cfg, workflow, &plan, "mashup-wo-pdc")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{DependencyPattern, Task, TaskProfile, WorkflowBuilder};
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("mix");
+        b.initial_input_bytes(1.0e9);
+        b.begin_phase();
+        let wide = b.add_task(Task::new(
+            "wide",
+            128,
+            TaskProfile::trivial().compute(8.0).io(1e6, 1e6),
+        ));
+        b.begin_phase();
+        let merge = b.add_task(Task::new(
+            "merge",
+            1,
+            TaskProfile::trivial().compute(60.0).slowdown(1.3).io(1.28e8, 1e6),
+        ));
+        b.depend(merge, wide, DependencyPattern::AllToAll);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn mashup_beats_or_matches_both_pure_strategies_on_small_clusters() {
+        let w = wf();
+        let cfg = MashupConfig::aws(2);
+        let outcome = Mashup::new(cfg.clone()).run(&w);
+        let traditional = crate::exec::execute(
+            &cfg,
+            &w,
+            &crate::placement::PlacementPlan::uniform(&w, crate::placement::Platform::VmCluster),
+            "traditional",
+        );
+        // 128 components on 4 slots is wave-bound; hybrid must win.
+        assert!(
+            outcome.report.makespan_secs < traditional.makespan_secs,
+            "mashup {} vs traditional {}",
+            outcome.report.makespan_secs,
+            traditional.makespan_secs
+        );
+    }
+
+    #[test]
+    fn outcome_contains_consistent_plan() {
+        let w = wf();
+        let outcome = Mashup::new(MashupConfig::aws(2)).run(&w);
+        assert!(outcome.pdc.plan.covers(&w));
+        assert_eq!(outcome.report.plan, outcome.pdc.plan);
+        assert_eq!(outcome.report.strategy, "mashup");
+        assert_eq!(outcome.report.tasks.len(), 2);
+    }
+
+    #[test]
+    fn without_pdc_uses_threshold_plan() {
+        let w = wf();
+        let report = Mashup::new(MashupConfig::aws(2)).run_without_pdc(&w);
+        assert_eq!(report.strategy, "mashup-wo-pdc");
+        let wide = report.task("wide").expect("exists");
+        assert_eq!(wide.platform, crate::placement::Platform::Serverless);
+        let merge = report.task("merge").expect("exists");
+        assert_eq!(merge.platform, crate::placement::Platform::VmCluster);
+    }
+}

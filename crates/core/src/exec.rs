@@ -1,0 +1,604 @@
+//! The hybrid workflow executor.
+//!
+//! Executes a workflow phase by phase (the DAG's precedence order), running
+//! each task on the platform its [`PlacementPlan`] assigns, and routing
+//! inter-platform data through the object store:
+//!
+//! * a task's output lives on the cluster **master** when both it and all
+//!   of its consumers run on the cluster, and in the **object store**
+//!   otherwise (serverless functions are stateless — §3);
+//! * VM tasks whose producers wrote to the store fetch over the WAN;
+//! * initial input is staged in the store whenever any task runs
+//!   serverless (the "S3 bucket maintained during execution" of §4, whose
+//!   occupancy is billed);
+//! * serverless tasks of the *next* phase are pre-warmed while the current
+//!   phase runs (§3's prefetching mitigation);
+//! * the cluster bills node time for the whole run iff the plan uses it.
+
+use crate::config::{CloudEnv, MashupConfig};
+use crate::placement::{PlacementPlan, Platform};
+use crate::report::{TaskReport, WorkflowReport};
+use mashup_cloud::{ClusterTaskSpec, FaasTaskSpec};
+use mashup_dag::{TaskRef, Workflow};
+use mashup_sim::{SimTime, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The storage key under which a task's output is registered.
+fn output_key(task_name: &str) -> String {
+    format!("out:{task_name}")
+}
+
+/// The storage key of the staged initial dataset.
+fn initial_key(workflow: &str) -> String {
+    format!("initial:{workflow}")
+}
+
+/// Where a task's output lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputLocation {
+    /// On the cluster master (pure-VM producer/consumer chains).
+    Master,
+    /// In the object store (any serverless involvement).
+    Store,
+}
+
+/// Computes each task's output location under `plan` (see module docs).
+fn output_locations(w: &Workflow, plan: &PlacementPlan) -> Vec<Vec<OutputLocation>> {
+    w.phases
+        .iter()
+        .enumerate()
+        .map(|(pi, phase)| {
+            (0..phase.tasks.len())
+                .map(|ti| {
+                    let r = TaskRef::new(pi, ti);
+                    let serverless_here = plan.platform(r) == Platform::Serverless;
+                    let serverless_consumer = w
+                        .consumers(r)
+                        .iter()
+                        .any(|(c, _)| plan.platform(*c) == Platform::Serverless);
+                    if serverless_here || serverless_consumer {
+                        OutputLocation::Store
+                    } else {
+                        OutputLocation::Master
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Driver {
+    cfg: MashupConfig,
+    workflow: Rc<Workflow>,
+    plan: PlacementPlan,
+    locations: Vec<Vec<OutputLocation>>,
+    env_handles: EnvHandles,
+    reports: Vec<TaskReport>,
+    remaining_in_phase: usize,
+    finished_at: Option<SimTime>,
+}
+
+/// Clonable handles into the environment (the `Simulation` itself stays
+/// outside and is threaded through event callbacks).
+#[derive(Clone)]
+struct EnvHandles {
+    cluster: mashup_cloud::VmCluster,
+    faas: mashup_cloud::FaasPlatform,
+    store: mashup_cloud::ObjectStore,
+    seeds: mashup_sim::SeedSource,
+}
+
+/// Executes `workflow` under `plan` in a fresh environment built from
+/// `cfg`, returning the full report. `strategy` labels the report.
+pub fn execute(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+) -> WorkflowReport {
+    let mut env = CloudEnv::new(cfg);
+    execute_in(&mut env, cfg, workflow, plan, strategy)
+}
+
+/// Executes in a caller-provided environment (lets the PDC reuse one
+/// environment across probes, and tests inject failure-laden stores).
+pub fn execute_in(
+    env: &mut CloudEnv,
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+) -> WorkflowReport {
+    assert!(plan.covers(workflow), "plan must assign every task");
+    let locations = output_locations(workflow, plan);
+
+    if plan.uses_cluster() {
+        env.cluster.start_billing(env.sim.now());
+    }
+    if plan.uses_serverless() {
+        // Stage the initial dataset in the store so stateless initial tasks
+        // can read it; its occupancy is billed for the run's duration.
+        env.store.register_object(
+            env.sim.now(),
+            initial_key(&workflow.name),
+            workflow.initial_input_bytes,
+        );
+    }
+
+    let driver = Rc::new(RefCell::new(Driver {
+        cfg: cfg.clone(),
+        workflow: Rc::new(workflow.clone()),
+        plan: plan.clone(),
+        locations,
+        env_handles: EnvHandles {
+            cluster: env.cluster.clone(),
+            faas: env.faas.clone(),
+            store: env.store.clone(),
+            seeds: env.seeds,
+        },
+        reports: Vec::new(),
+        remaining_in_phase: 0,
+        finished_at: None,
+    }));
+
+    let d2 = driver.clone();
+    env.sim.schedule_now(move |sim| run_phase(sim, d2, 0));
+    env.sim.run();
+
+    let finished_at = driver
+        .borrow()
+        .finished_at
+        .expect("workflow execution completed");
+    if plan.uses_cluster() {
+        env.cluster.stop_billing(finished_at);
+    }
+    env.store.finalize(finished_at);
+
+    let d = driver.borrow();
+    WorkflowReport {
+        workflow: workflow.name.clone(),
+        strategy: strategy.into(),
+        cluster_nodes: if plan.uses_cluster() {
+            cfg.cluster.nodes
+        } else {
+            0
+        },
+        makespan_secs: finished_at.as_secs(),
+        expense: env.meter.expense(cfg.provider.storage.price_per_gb_month),
+        plan: plan.clone(),
+        tasks: d.reports.clone(),
+    }
+}
+
+fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize) {
+    let (n_phases, n_tasks) = {
+        let d = driver.borrow();
+        let n = d.workflow.phases.len();
+        if phase_idx >= n {
+            (n, 0)
+        } else {
+            (n, d.workflow.phases[phase_idx].tasks.len())
+        }
+    };
+    if phase_idx >= n_phases {
+        driver.borrow_mut().finished_at = Some(sim.now());
+        return;
+    }
+    driver.borrow_mut().remaining_in_phase = n_tasks;
+
+    prewarm_next_phase(sim, &driver, phase_idx);
+
+    // Round-robin sub-cluster assignment for the phase's VM tasks.
+    let mut next_sub = 0usize;
+    for ti in 0..n_tasks {
+        let r = TaskRef::new(phase_idx, ti);
+        let platform = driver.borrow().plan.platform(r);
+        match platform {
+            Platform::Serverless => spawn_serverless(sim, &driver, r),
+            Platform::VmCluster => {
+                let subclusters = driver.borrow().cfg.cluster.subclusters;
+                let sub = next_sub % subclusters;
+                next_sub += 1;
+                spawn_on_cluster(sim, &driver, r, sub);
+            }
+        }
+    }
+}
+
+fn prewarm_next_phase(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, phase_idx: usize) {
+    let to_warm: Vec<(String, usize)> = {
+        let d = driver.borrow();
+        if !d.cfg.prewarm || phase_idx + 1 >= d.workflow.phases.len() {
+            Vec::new()
+        } else {
+            let burst = d.env_handles.faas.config().burst_capacity;
+            d.workflow.phases[phase_idx + 1]
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|&(ti, _)| {
+                    d.plan.platform(TaskRef::new(phase_idx + 1, ti)) == Platform::Serverless
+                })
+                .filter(|(_, t)| t.components > burst)
+                .map(|(_, t)| {
+                    let key = t
+                        .profile
+                        .code_family
+                        .clone()
+                        .unwrap_or_else(|| t.name.clone());
+                    (key, t.components.min(d.cfg.prewarm_cap))
+                })
+                .collect()
+        }
+    };
+    let faas = driver.borrow().env_handles.faas.clone();
+    for (key, count) in to_warm {
+        faas.prewarm(sim, key, count);
+    }
+}
+
+/// Sum of per-component input GET requests implied by the dependency
+/// patterns (1 for initial tasks reading the staged dataset).
+fn input_requests(w: &Workflow, r: TaskRef) -> u64 {
+    let t = w.task(r);
+    if t.deps.is_empty() {
+        return 1;
+    }
+    t.deps
+        .iter()
+        .map(|d| {
+            let p = w.task(d.producer);
+            d.pattern.fan_in_degree(p.components, t.components) as u64
+        })
+        .sum::<u64>()
+        .max(1)
+}
+
+fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskRef) {
+    let (spec, handles) = {
+        let d = driver.borrow();
+        let w = &d.workflow;
+        let t = w.task(r);
+        // Statelessness sanity check: everything this task reads must
+        // already sit in the store.
+        if t.deps.is_empty() {
+            d.env_handles
+                .store
+                .assert_present(&initial_key(&w.name));
+        } else {
+            for dep in &t.deps {
+                d.env_handles
+                    .store
+                    .assert_present(&output_key(&w.task(dep.producer).name));
+            }
+        }
+        let label = t
+            .profile
+            .code_family
+            .clone()
+            .unwrap_or_else(|| t.name.clone());
+        let spec = FaasTaskSpec {
+            label,
+            components: t.components,
+            compute_secs: t.profile.compute_secs_serverless(),
+            input_bytes: t.profile.input_bytes,
+            output_bytes: t.profile.output_bytes,
+            io_requests: input_requests(w, r),
+            checkpoint_bytes: t.profile.checkpoint_bytes,
+            jitter: t.profile.runtime_jitter,
+            memory_gb: t.profile.memory_gb,
+            checkpoint_margin_secs: d.cfg.margin_for(t.profile.checkpoint_bytes),
+        };
+        (spec, d.env_handles.clone())
+    };
+    let driver2 = driver.clone();
+    let task_name = driver.borrow().workflow.task(r).name.clone();
+    let faas = handles.faas.clone();
+    let store = handles.store.clone();
+    let seeds = handles.seeds;
+    mashup_cloud::run_task_on_faas(
+        sim,
+        &faas,
+        &store,
+        spec,
+        &seeds,
+        move |sim, stats| {
+            let (components, output_bytes) = {
+                let d = driver2.borrow();
+                let t = d.workflow.task(r);
+                (t.components, t.profile.output_bytes)
+            };
+            // Serverless outputs always live in the store.
+            handles.store.register_object(
+                sim.now(),
+                output_key(&task_name),
+                components as f64 * output_bytes,
+            );
+            let report = TaskReport {
+                name: task_name.clone(),
+                platform: Platform::Serverless,
+                phase: r.phase,
+                components,
+                start_secs: stats.start.as_secs(),
+                end_secs: stats.end.as_secs(),
+                compute_secs: stats.compute_secs,
+                io_secs: stats.io_secs,
+                cold_start_secs: stats.cold_start_secs,
+                scaling_secs: stats.scaling_secs(),
+                checkpoints: stats.checkpoints,
+                n_cold: stats.n_cold,
+                n_warm: stats.n_warm,
+            };
+            finish_task(sim, driver2, r, report);
+        },
+    );
+}
+
+fn spawn_on_cluster(
+    sim: &mut Simulation,
+    driver: &Rc<RefCell<Driver>>,
+    r: TaskRef,
+    subcluster: usize,
+) {
+    let (spec, handles, to_store) = {
+        let d = driver.borrow();
+        let w = &d.workflow;
+        let t = w.task(r);
+        let to_store = d.locations[r.phase][r.task] == OutputLocation::Store;
+        // Input routing: phase-0 tasks ingest the initial dataset from the
+        // sub-cluster master (Algorithm 1 line 12); later phases pull from
+        // other workers over the fabric — or from the store over the WAN
+        // when any producer's output lives there.
+        let from_store = t.deps.iter().any(|dep| {
+            d.locations[dep.producer.phase][dep.producer.task] == OutputLocation::Store
+        });
+        if from_store {
+            for dep in &t.deps {
+                if d.locations[dep.producer.phase][dep.producer.task] == OutputLocation::Store {
+                    d.env_handles
+                        .store
+                        .assert_present(&output_key(&w.task(dep.producer).name));
+                }
+            }
+        }
+        let input = if from_store {
+            mashup_cloud::ClusterInput::Wan
+        } else if t.deps.is_empty() {
+            mashup_cloud::ClusterInput::Master
+        } else {
+            mashup_cloud::ClusterInput::Fabric
+        };
+        let output = if to_store {
+            mashup_cloud::ClusterOutput::Wan
+        } else {
+            mashup_cloud::ClusterOutput::Fabric
+        };
+        let spec = ClusterTaskSpec {
+            label: t.name.clone(),
+            components: t.components,
+            compute_secs: t.profile.compute_secs_vm,
+            input_bytes: t.profile.input_bytes,
+            output_bytes: t.profile.output_bytes,
+            io_requests: input_requests(w, r),
+            contention_coeff: t.profile.vm_local_contention,
+            memory_gb: t.profile.memory_gb,
+            jitter: t.profile.runtime_jitter,
+            input,
+            output,
+            subcluster,
+        };
+        (spec, d.env_handles.clone(), to_store)
+    };
+    let driver2 = driver.clone();
+    let task_name = driver.borrow().workflow.task(r).name.clone();
+    let store = handles.store.clone();
+    let cluster = handles.cluster.clone();
+    cluster.run_task(
+        sim,
+        Some(&handles.store),
+        spec,
+        move |sim, stats| {
+            let (components, output_bytes) = {
+                let d = driver2.borrow();
+                let t = d.workflow.task(r);
+                (t.components, t.profile.output_bytes)
+            };
+            if to_store {
+                store.register_object(
+                    sim.now(),
+                    output_key(&task_name),
+                    components as f64 * output_bytes,
+                );
+            }
+            let report = TaskReport {
+                name: task_name.clone(),
+                platform: Platform::VmCluster,
+                phase: r.phase,
+                components,
+                start_secs: stats.start.as_secs(),
+                end_secs: stats.end.as_secs(),
+                compute_secs: stats.compute_secs,
+                io_secs: stats.io_secs,
+                cold_start_secs: 0.0,
+                scaling_secs: 0.0,
+                checkpoints: 0,
+                n_cold: 0,
+                n_warm: 0,
+            };
+            finish_task(sim, driver2, r, report);
+        },
+    );
+}
+
+fn finish_task(
+    sim: &mut Simulation,
+    driver: Rc<RefCell<Driver>>,
+    r: TaskRef,
+    report: TaskReport,
+) {
+    let next_phase = {
+        let mut d = driver.borrow_mut();
+        d.reports.push(report);
+        d.remaining_in_phase -= 1;
+        if d.remaining_in_phase == 0 {
+            Some(r.phase + 1)
+        } else {
+            None
+        }
+    };
+    if let Some(p) = next_phase {
+        run_phase(sim, driver, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{DependencyPattern, Task, TaskProfile, WorkflowBuilder};
+
+    fn two_phase_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("test-wf");
+        b.initial_input_bytes(1.0e9);
+        b.begin_phase();
+        let a = b.add_task(Task::new(
+            "wide",
+            64,
+            TaskProfile::trivial().compute(5.0).io(1.0e7, 1.0e7),
+        ));
+        b.begin_phase();
+        let m = b.add_task(Task::new(
+            "merge",
+            1,
+            TaskProfile::trivial().compute(10.0).io(6.4e8, 1.0e7),
+        ));
+        b.depend(m, a, DependencyPattern::AllToAll);
+        b.build().expect("valid")
+    }
+
+    fn cfg(nodes: usize) -> MashupConfig {
+        MashupConfig::aws(nodes)
+    }
+
+    #[test]
+    fn all_vm_plan_runs_without_storage() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let report = execute(&cfg(8), &w, &plan, "traditional");
+        assert_eq!(report.tasks.len(), 2);
+        assert!(report.makespan_secs > 0.0);
+        // Pure VM: no serverless or storage expense.
+        assert_eq!(report.expense.faas_dollars, 0.0);
+        assert_eq!(report.expense.storage_dollars, 0.0);
+        assert!(report.expense.vm_dollars > 0.0);
+        // Phase order respected.
+        let wide = report.task("wide").expect("exists");
+        let merge = report.task("merge").expect("exists");
+        assert!(merge.start_secs >= wide.end_secs - 1e-9);
+    }
+
+    #[test]
+    fn all_serverless_plan_bills_no_vm() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let report = execute(&cfg(8), &w, &plan, "serverless-only");
+        assert_eq!(report.expense.vm_dollars, 0.0);
+        assert!(report.expense.faas_dollars > 0.0);
+        assert!(report.expense.storage_dollars > 0.0);
+        assert_eq!(report.cluster_nodes, 0);
+        let wide = report.task("wide").expect("exists");
+        assert!(wide.n_cold + wide.n_warm >= 64);
+        assert!(wide.cold_start_secs > 0.0);
+    }
+
+    #[test]
+    fn hybrid_crosses_platform_boundary_through_store() {
+        let w = two_phase_workflow();
+        let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        plan.set(TaskRef::new(0, 0), Platform::Serverless);
+        let report = execute(&cfg(8), &w, &plan, "hybrid");
+        // Both platforms billed.
+        assert!(report.expense.vm_dollars > 0.0);
+        assert!(report.expense.faas_dollars > 0.0);
+        let wide = report.task("wide").expect("exists");
+        let merge = report.task("merge").expect("exists");
+        assert_eq!(wide.platform, Platform::Serverless);
+        assert_eq!(merge.platform, Platform::VmCluster);
+        // The VM merge waited for the serverless producer.
+        assert!(merge.start_secs >= wide.end_secs - 1e-9);
+        // The merge read through the WAN: nonzero I/O time.
+        assert!(merge.io_secs > 0.0);
+    }
+
+    #[test]
+    fn vm_producer_feeding_serverless_consumer_uploads_output() {
+        let w = two_phase_workflow();
+        let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        plan.set(TaskRef::new(1, 0), Platform::Serverless);
+        let report = execute(&cfg(8), &w, &plan, "hybrid");
+        let wide = report.task("wide").expect("exists");
+        // The VM producer wrote its output to the store over the WAN.
+        assert_eq!(wide.platform, Platform::VmCluster);
+        assert!(wide.io_secs > 0.0);
+        assert!(report.expense.storage_dollars > 0.0);
+    }
+
+    #[test]
+    fn larger_cluster_shrinks_vm_makespan() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let small = execute(&cfg(2), &w, &plan, "traditional");
+        let large = execute(&cfg(32), &w, &plan, "traditional");
+        assert!(large.makespan_secs < small.makespan_secs);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let a = execute(&cfg(4), &w, &plan, "s");
+        let b = execute(&cfg(4), &w, &plan, "s");
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.expense, b.expense);
+    }
+
+    #[test]
+    fn input_requests_follow_fan_in_degrees() {
+        let w = two_phase_workflow();
+        // "wide" is initial: exactly one staged-dataset GET.
+        assert_eq!(input_requests(&w, TaskRef::new(0, 0)), 1);
+        // "merge" fans in over all 64 producer components.
+        assert_eq!(input_requests(&w, TaskRef::new(1, 0)), 64);
+    }
+
+    #[test]
+    fn output_locations_follow_the_placement() {
+        let w = two_phase_workflow();
+        // All VM: everything stays on the master.
+        let vm = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let locs = output_locations(&w, &vm);
+        assert_eq!(locs[0][0], OutputLocation::Master);
+        assert_eq!(locs[1][0], OutputLocation::Master);
+        // Serverless consumer forces the producer's output into the store.
+        let mut hybrid = PlacementPlan::uniform(&w, Platform::VmCluster);
+        hybrid.set(TaskRef::new(1, 0), Platform::Serverless);
+        let locs = output_locations(&w, &hybrid);
+        assert_eq!(locs[0][0], OutputLocation::Store);
+        assert_eq!(locs[1][0], OutputLocation::Store);
+    }
+
+    #[test]
+    fn different_seeds_jitter_results() {
+        let mut w = two_phase_workflow();
+        // Give tasks jitter so seeds matter.
+        for p in &mut w.phases {
+            for t in &mut p.tasks {
+                t.profile.runtime_jitter = 0.2;
+            }
+        }
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let a = execute(&cfg(4).with_seed(1), &w, &plan, "s");
+        let b = execute(&cfg(4).with_seed(2), &w, &plan, "s");
+        assert_ne!(a.makespan_secs, b.makespan_secs);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mashup-core
+//!
+//! The Mashup engine — the primary contribution of *"Mashup: Making
+//! Serverless Computing Useful for HPC Workflows via Hybrid Execution"*
+//! (PPoPP '22) — reimplemented over simulated cloud substrates:
+//!
+//! * [`Pdc`] — the Placement Decision Controller: a full VM profiling pass,
+//!   single-component serverless probes, the Eq. 1/2 analytical models with
+//!   autonomously calibrated factors, and the Algorithm 1 decision rules
+//!   (conservative cold-start penalty, memory and short-task forcing, the
+//!   recurring-task warm-pool exception, alternative objectives);
+//! * [`execute`] — the hybrid executor: phase-ordered execution across the
+//!   VM cluster and the serverless platform with store-mediated data
+//!   exchange, checkpointing across the FaaS time cap, and pre-warming;
+//! * [`Mashup`] — the one-call engine combining both;
+//! * [`plan_without_pdc`] — the paper's "Mashup w/o PDC" baseline design.
+//!
+//! Reports ([`WorkflowReport`], [`TaskReport`], [`PdcReport`]) carry the
+//! makespan, expense, placement, and overhead decomposition (cold start,
+//! I/O, scaling, checkpoints) that the paper's evaluation figures analyse.
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod exec;
+mod naive;
+mod pdc;
+mod placement;
+mod report;
+
+pub use config::{CloudEnv, MashupConfig};
+pub use engine::{Mashup, MashupOutcome};
+pub use exec::{execute, execute_in};
+pub use naive::plan_without_pdc;
+pub use pdc::{
+    calibrate, estimate_serverless_time, fit_gamma, ModelFactors, Objective, Pdc, PdcReport,
+    TaskDecision,
+};
+pub use placement::{PlacementPlan, Platform};
+pub use report::{improvement_pct, TaskReport, WorkflowReport};

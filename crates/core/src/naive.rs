@@ -1,0 +1,68 @@
+//! Mashup *without* the PDC (paper §3: the "base design").
+//!
+//! "The base design is to place all tasks with more components than the
+//! number of available cluster nodes on the serverless platform." No
+//! profiling, no estimates — just the component-count threshold (plus the
+//! hard memory constraint, since oversized components cannot run in a
+//! function at all).
+
+use crate::config::MashupConfig;
+use crate::placement::{PlacementPlan, Platform};
+use mashup_dag::Workflow;
+
+/// Builds the w/o-PDC plan: `components > cluster nodes` ⇒ serverless.
+pub fn plan_without_pdc(cfg: &MashupConfig, workflow: &Workflow) -> PlacementPlan {
+    let mut plan = PlacementPlan::new();
+    for r in workflow.task_refs() {
+        let t = workflow.task(r);
+        let fits = t.profile.memory_gb <= cfg.provider.faas.memory_gb;
+        let platform = if fits && t.components > cfg.cluster.nodes {
+            Platform::Serverless
+        } else {
+            Platform::VmCluster
+        };
+        plan.set(r, platform);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{Task, TaskProfile, WorkflowBuilder};
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.begin_phase();
+        b.add_task(Task::new("narrow", 4, TaskProfile::trivial()));
+        b.add_task(Task::new("wide", 100, TaskProfile::trivial()));
+        b.add_task(Task::new(
+            "fat",
+            100,
+            TaskProfile::trivial().memory(10.0),
+        ));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn threshold_is_cluster_node_count() {
+        let w = wf();
+        let plan = plan_without_pdc(&MashupConfig::aws(8), &w);
+        let by_name = |name: &str| {
+            let (r, _) = w.task_by_name(name).expect("exists");
+            plan.platform(r)
+        };
+        assert_eq!(by_name("narrow"), Platform::VmCluster);
+        assert_eq!(by_name("wide"), Platform::Serverless);
+        // Memory cap always wins.
+        assert_eq!(by_name("fat"), Platform::VmCluster);
+    }
+
+    #[test]
+    fn larger_clusters_pull_tasks_back_to_vm() {
+        let w = wf();
+        let plan = plan_without_pdc(&MashupConfig::aws(128), &w);
+        let (r, _) = w.task_by_name("wide").expect("exists");
+        assert_eq!(plan.platform(r), Platform::VmCluster);
+    }
+}

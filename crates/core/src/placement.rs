@@ -1,0 +1,167 @@
+//! Placement plans: which platform runs each task.
+
+use mashup_dag::{TaskRef, Workflow};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The two execution platforms of the hybrid environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Traditional VM-based cluster.
+    VmCluster,
+    /// Serverless (FaaS) platform.
+    Serverless,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::VmCluster => write!(f, "VM"),
+            Platform::Serverless => write!(f, "serverless"),
+        }
+    }
+}
+
+/// A complete task-to-platform assignment for one workflow.
+///
+/// Serialized as a list of `(task, platform)` pairs (JSON maps need string
+/// keys, and `TaskRef` is a struct).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "Vec<(TaskRef, Platform)>", into = "Vec<(TaskRef, Platform)>")]
+pub struct PlacementPlan {
+    assignments: BTreeMap<TaskRef, Platform>,
+}
+
+impl From<Vec<(TaskRef, Platform)>> for PlacementPlan {
+    fn from(v: Vec<(TaskRef, Platform)>) -> Self {
+        PlacementPlan {
+            assignments: v.into_iter().collect(),
+        }
+    }
+}
+
+impl From<PlacementPlan> for Vec<(TaskRef, Platform)> {
+    fn from(p: PlacementPlan) -> Self {
+        p.assignments.into_iter().collect()
+    }
+}
+
+impl PlacementPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        PlacementPlan {
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// A plan putting every task of `w` on `platform`.
+    pub fn uniform(w: &Workflow, platform: Platform) -> Self {
+        let mut plan = Self::new();
+        for r in w.task_refs() {
+            plan.set(r, platform);
+        }
+        plan
+    }
+
+    /// Assigns a task.
+    pub fn set(&mut self, task: TaskRef, platform: Platform) {
+        self.assignments.insert(task, platform);
+    }
+
+    /// The platform of `task`. Panics if unassigned (plans produced by the
+    /// PDC or `uniform` always cover every task).
+    pub fn platform(&self, task: TaskRef) -> Platform {
+        *self
+            .assignments
+            .get(&task)
+            .unwrap_or_else(|| panic!("no placement for task {task}"))
+    }
+
+    /// True when every task of `w` has an assignment.
+    pub fn covers(&self, w: &Workflow) -> bool {
+        w.task_refs().all(|r| self.assignments.contains_key(&r))
+    }
+
+    /// Number of tasks assigned to `platform`.
+    pub fn count(&self, platform: Platform) -> usize {
+        self.assignments.values().filter(|&&p| p == platform).count()
+    }
+
+    /// True if at least one task runs on the VM cluster.
+    pub fn uses_cluster(&self) -> bool {
+        self.count(Platform::VmCluster) > 0
+    }
+
+    /// True if at least one task runs serverless.
+    pub fn uses_serverless(&self) -> bool {
+        self.count(Platform::Serverless) > 0
+    }
+
+    /// Iterates over `(task, platform)` in task order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskRef, Platform)> + '_ {
+        self.assignments.iter().map(|(&r, &p)| (r, p))
+    }
+}
+
+impl Default for PlacementPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{Task, TaskProfile, WorkflowBuilder};
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.begin_phase();
+        b.add_task(Task::new("A", 2, TaskProfile::trivial()));
+        b.add_task(Task::new("B", 3, TaskProfile::trivial()));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn uniform_covers_all_tasks() {
+        let w = wf();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        assert!(plan.covers(&w));
+        assert_eq!(plan.count(Platform::Serverless), 2);
+        assert!(!plan.uses_cluster());
+        assert!(plan.uses_serverless());
+    }
+
+    #[test]
+    fn set_overrides() {
+        let w = wf();
+        let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        plan.set(TaskRef::new(0, 1), Platform::Serverless);
+        assert_eq!(plan.platform(TaskRef::new(0, 0)), Platform::VmCluster);
+        assert_eq!(plan.platform(TaskRef::new(0, 1)), Platform::Serverless);
+        assert!(plan.uses_cluster() && plan.uses_serverless());
+    }
+
+    #[test]
+    #[should_panic(expected = "no placement")]
+    fn missing_assignment_panics() {
+        let plan = PlacementPlan::new();
+        plan.platform(TaskRef::new(0, 0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = wf();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: PlacementPlan = serde_json::from_str(&json).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn platform_display() {
+        assert_eq!(Platform::VmCluster.to_string(), "VM");
+        assert_eq!(Platform::Serverless.to_string(), "serverless");
+    }
+}

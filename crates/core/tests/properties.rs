@@ -1,0 +1,123 @@
+//! Property-based tests of the Mashup engine invariants.
+
+use mashup_core::{
+    estimate_serverless_time, execute, fit_gamma, MashupConfig, ModelFactors, PlacementPlan,
+    Platform,
+};
+use mashup_workflows::{generate, SyntheticConfig};
+use proptest::prelude::*;
+
+fn small_synthetic(seed: u64) -> mashup_dag::Workflow {
+    generate(
+        &SyntheticConfig {
+            phases: 3,
+            tasks_per_phase: (1, 2),
+            component_choices: vec![1, 4, 16, 48],
+            compute_secs: (1.0, 20.0),
+            io_bytes: (1.0e5, 5.0e7),
+            slowdown: (0.8, 1.5),
+            recurring_prob: 0.1,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Eq. 1 estimates are monotone in component count and never below the
+    /// probe's own serial time plus the conservative pad.
+    #[test]
+    fn estimate_is_monotone_and_bounded_below(
+        c1 in 1usize..2000,
+        extra in 0usize..2000,
+        probe in 1u32..600,
+        io in 0u64..1_000_000_000u64,
+    ) {
+        let f = ModelFactors {
+            alpha: 0.2,
+            beta: 1.5,
+            gamma: 1.0,
+            store_bps: 2.0e9,
+            burst: 64,
+        };
+        let probe = probe as f64;
+        let e1 = estimate_serverless_time(&f, c1, probe, io as f64, 2.0);
+        let e2 = estimate_serverless_time(&f, c1 + extra, probe, io as f64, 2.0);
+        prop_assert!(e2 >= e1 - 1e-9);
+        prop_assert!(e1 >= probe + 2.0 - 1e-9);
+    }
+
+    /// γ fits are always ≥ 1 and reproduce the measured time under Eq. 2's
+    /// form when the fit is non-degenerate.
+    #[test]
+    fn gamma_fit_round_trips(
+        r in 1.1f64..4.0,
+        c in 1usize..64,
+        mult in 1.0f64..100.0,
+    ) {
+        let t_vm = r * mult;
+        let g = fit_gamma(t_vm, r, c);
+        prop_assert!(g >= 1.0);
+        if g > 1.0 {
+            let reconstructed = r.powf(g * c as f64);
+            prop_assert!((reconstructed - t_vm).abs() / t_vm < 1e-6);
+        }
+    }
+
+    /// Every synthetic workflow executes under every uniform plan, with an
+    /// internally consistent report.
+    #[test]
+    fn executor_handles_arbitrary_valid_workflows(seed in 0u64..30) {
+        let w = small_synthetic(seed);
+        let cfg = MashupConfig::aws(4);
+        for platform in [Platform::VmCluster, Platform::Serverless] {
+            // Skip serverless plans containing over-cap memory tasks.
+            if platform == Platform::Serverless
+                && w.task_refs().any(|r| w.task(r).profile.memory_gb > 3.0)
+            {
+                continue;
+            }
+            let plan = PlacementPlan::uniform(&w, platform);
+            let report = execute(&cfg, &w, &plan, "prop");
+            prop_assert_eq!(report.tasks.len(), w.task_count());
+            let last_end = report.tasks.iter().map(|t| t.end_secs).fold(0.0f64, f64::max);
+            prop_assert!((report.makespan_secs - last_end).abs() < 1e-6);
+            // Phase precedence.
+            for t in &report.tasks {
+                for e in report.tasks.iter().filter(|e| e.phase < t.phase) {
+                    prop_assert!(t.start_secs >= e.end_secs - 1e-6);
+                }
+            }
+            prop_assert!(report.expense.total() > 0.0);
+        }
+    }
+
+    /// Identical configuration ⇒ identical report (determinism), and a
+    /// different seed with nonzero jitter ⇒ (almost surely) different
+    /// makespan.
+    #[test]
+    fn execution_is_deterministic(seed in 0u64..20) {
+        let w = small_synthetic(seed);
+        let cfg = MashupConfig::aws(4);
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let a = execute(&cfg, &w, &plan, "a");
+        let b = execute(&cfg, &w, &plan, "b");
+        prop_assert_eq!(a.makespan_secs, b.makespan_secs);
+        prop_assert_eq!(a.expense, b.expense);
+    }
+
+    /// Cluster expense scales linearly with price for a fixed plan.
+    #[test]
+    fn vm_expense_scales_with_price(seed in 0u64..10) {
+        let w = small_synthetic(seed);
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let base = MashupConfig::aws(4);
+        let mut doubled = base.clone();
+        doubled.cluster.instance.price_per_hour *= 2.0;
+        let a = execute(&base, &w, &plan, "a");
+        let b = execute(&doubled, &w, &plan, "b");
+        prop_assert!((b.expense.vm_dollars - 2.0 * a.expense.vm_dollars).abs() < 1e-9);
+        prop_assert_eq!(a.makespan_secs, b.makespan_secs);
+    }
+}

@@ -1,0 +1,255 @@
+//! Phase derivation from a raw task graph.
+//!
+//! Users of workflow managers often describe a DAG as tasks plus edges
+//! without phase annotations. [`from_task_graph`] recovers the paper's phase
+//! structure: each task is placed at its longest-path depth, so tasks in the
+//! same phase have no mutual dependencies and every dependency points to an
+//! earlier phase.
+
+use crate::builder::{validate, ValidationError};
+use crate::pattern::DependencyPattern;
+use crate::workflow::{Phase, Task, TaskDep, TaskRef, Workflow};
+use std::collections::HashMap;
+
+/// An edge in a raw task graph, named by task names.
+#[derive(Debug, Clone)]
+pub struct RawEdge {
+    /// Producer task name.
+    pub from: String,
+    /// Consumer task name.
+    pub to: String,
+    /// Component wiring.
+    pub pattern: DependencyPattern,
+}
+
+impl RawEdge {
+    /// Convenience constructor.
+    pub fn new(from: impl Into<String>, to: impl Into<String>, pattern: DependencyPattern) -> Self {
+        RawEdge {
+            from: from.into(),
+            to: to.into(),
+            pattern,
+        }
+    }
+}
+
+/// Errors from [`from_task_graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references an unknown task name.
+    UnknownTask(String),
+    /// The edges form a cycle involving the named task.
+    Cycle(String),
+    /// The derived workflow failed structural validation.
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "edge references unknown task '{t}'"),
+            GraphError::Cycle(t) => write!(f, "dependency cycle involving task '{t}'"),
+            GraphError::Invalid(e) => write!(f, "derived workflow invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builds a phase-structured [`Workflow`] from tasks plus raw edges.
+///
+/// Tasks are assigned to phases by longest-path level (sources at phase 0).
+/// The relative order of tasks in the input is preserved within a phase.
+pub fn from_task_graph(
+    name: impl Into<String>,
+    tasks: Vec<Task>,
+    edges: Vec<RawEdge>,
+    initial_input_bytes: f64,
+) -> Result<Workflow, GraphError> {
+    let index: HashMap<String, usize> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.clone(), i))
+        .collect();
+    // Adjacency: producers[i] lists (producer index, pattern).
+    let mut producers: Vec<Vec<(usize, DependencyPattern)>> = vec![Vec::new(); tasks.len()];
+    for e in &edges {
+        let &from = index
+            .get(&e.from)
+            .ok_or_else(|| GraphError::UnknownTask(e.from.clone()))?;
+        let &to = index
+            .get(&e.to)
+            .ok_or_else(|| GraphError::UnknownTask(e.to.clone()))?;
+        producers[to].push((from, e.pattern));
+    }
+
+    // Longest-path level via DFS with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn level(
+        i: usize,
+        producers: &[Vec<(usize, DependencyPattern)>],
+        marks: &mut [Mark],
+        levels: &mut [usize],
+        names: &[String],
+    ) -> Result<usize, GraphError> {
+        match marks[i] {
+            Mark::Black => return Ok(levels[i]),
+            Mark::Grey => return Err(GraphError::Cycle(names[i].clone())),
+            Mark::White => {}
+        }
+        marks[i] = Mark::Grey;
+        let mut l = 0;
+        for &(p, _) in &producers[i] {
+            l = l.max(level(p, producers, marks, levels, names)? + 1);
+        }
+        marks[i] = Mark::Black;
+        levels[i] = l;
+        Ok(l)
+    }
+
+    let names: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
+    let mut marks = vec![Mark::White; tasks.len()];
+    let mut levels = vec![0usize; tasks.len()];
+    for i in 0..tasks.len() {
+        level(i, &producers, &mut marks, &mut levels, &names)?;
+    }
+
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let mut phases: Vec<Phase> = (0..=max_level).map(|_| Phase::default()).collect();
+    if tasks.is_empty() {
+        phases.clear();
+    }
+    // Place tasks and remember their final TaskRef.
+    let mut placed: Vec<TaskRef> = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let p = levels[i];
+        phases[p].tasks.push(Task {
+            name: task.name.clone(),
+            components: task.components,
+            profile: task.profile.clone(),
+            deps: Vec::new(), // rebuilt below with final references
+        });
+        placed.push(TaskRef::new(p, phases[p].tasks.len() - 1));
+    }
+    for (i, prods) in producers.iter().enumerate() {
+        let r = placed[i];
+        for &(p, pattern) in prods {
+            phases[r.phase].tasks[r.task].deps.push(TaskDep {
+                producer: placed[p],
+                pattern,
+            });
+        }
+    }
+
+    let workflow = Workflow {
+        name: name.into(),
+        phases,
+        initial_input_bytes,
+    };
+    validate(&workflow).map_err(GraphError::Invalid)?;
+    Ok(workflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TaskProfile;
+
+    fn t(name: &str, comps: usize) -> Task {
+        Task::new(name, comps, TaskProfile::trivial())
+    }
+
+    #[test]
+    fn diamond_graph_levels() {
+        //    A
+        //   / \
+        //  B   C
+        //   \ /
+        //    D
+        let w = from_task_graph(
+            "diamond",
+            vec![t("A", 1), t("B", 2), t("C", 2), t("D", 1)],
+            vec![
+                RawEdge::new("A", "B", DependencyPattern::AllToAll),
+                RawEdge::new("A", "C", DependencyPattern::AllToAll),
+                RawEdge::new("B", "D", DependencyPattern::AllToAll),
+                RawEdge::new("C", "D", DependencyPattern::AllToAll),
+            ],
+            0.0,
+        )
+        .expect("valid");
+        assert_eq!(w.phases.len(), 3);
+        assert_eq!(w.phases[1].tasks.len(), 2); // B and C side by side
+        let (d_ref, d) = w.task_by_name("D").expect("D exists");
+        assert_eq!(d_ref.phase, 2);
+        assert_eq!(d.deps.len(), 2);
+    }
+
+    #[test]
+    fn longest_path_dominates_level() {
+        // A -> B -> C, plus A -> C directly: C must land in phase 2.
+        let w = from_task_graph(
+            "lp",
+            vec![t("A", 1), t("B", 1), t("C", 1)],
+            vec![
+                RawEdge::new("A", "B", DependencyPattern::OneToOne),
+                RawEdge::new("B", "C", DependencyPattern::OneToOne),
+                RawEdge::new("A", "C", DependencyPattern::OneToOne),
+            ],
+            0.0,
+        )
+        .expect("valid");
+        assert_eq!(w.task_by_name("C").expect("C").0.phase, 2);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let err = from_task_graph(
+            "cyc",
+            vec![t("A", 1), t("B", 1)],
+            vec![
+                RawEdge::new("A", "B", DependencyPattern::OneToOne),
+                RawEdge::new("B", "A", DependencyPattern::OneToOne),
+            ],
+            0.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn unknown_task_detected() {
+        let err = from_task_graph(
+            "bad",
+            vec![t("A", 1)],
+            vec![RawEdge::new("A", "Z", DependencyPattern::OneToOne)],
+            0.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphError::UnknownTask("Z".into()));
+    }
+
+    #[test]
+    fn pattern_mismatch_surfaces_as_invalid() {
+        let err = from_task_graph(
+            "bad",
+            vec![t("A", 3), t("B", 2)],
+            vec![RawEdge::new("A", "B", DependencyPattern::OneToOne)],
+            0.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Invalid(_)));
+    }
+
+    #[test]
+    fn independent_tasks_share_phase_zero() {
+        let w = from_task_graph("par", vec![t("A", 1), t("B", 1)], vec![], 0.0).expect("valid");
+        assert_eq!(w.phases.len(), 1);
+        assert_eq!(w.phases[0].tasks.len(), 2);
+    }
+}

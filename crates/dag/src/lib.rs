@@ -1,0 +1,84 @@
+//! # mashup-dag
+//!
+//! The scientific-workflow DAG model used throughout the Mashup
+//! reproduction, following the paper's §2 vocabulary:
+//!
+//! * **component** — smallest execution unit; a task's components run the
+//!   same code over different inputs;
+//! * **task** — a named group of identical components;
+//! * **phase** — tasks with no mutual dependencies, runnable concurrently;
+//! * **workflow** — an ordered list of phases with component-level
+//!   dependency edges between tasks of different phases.
+//!
+//! Dependencies use the paper's connection dynamics (fan-out, fan-in,
+//! strong/all-to-all) via [`DependencyPattern`]. Task executables are
+//! replaced by [`TaskProfile`]s — see `DESIGN.md` for the substitution
+//! rationale. Workflows can be built with [`WorkflowBuilder`], derived from
+//! a raw task graph with [`from_task_graph`], serialized to/from JSON with
+//! [`to_json`]/[`from_json`], and exported to Graphviz with [`to_dot`].
+
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+mod graph;
+mod pattern;
+mod profile;
+mod workflow;
+
+pub use builder::{validate, ValidationError, WorkflowBuilder};
+pub use dot::to_dot;
+pub use graph::{from_task_graph, GraphError, RawEdge};
+pub use pattern::DependencyPattern;
+pub use profile::TaskProfile;
+pub use workflow::{Phase, Task, TaskDep, TaskRef, Workflow};
+
+/// Serializes a workflow to pretty-printed JSON.
+pub fn to_json(w: &Workflow) -> String {
+    serde_json::to_string_pretty(w).expect("workflow serialization is infallible")
+}
+
+/// Parses and validates a workflow from JSON.
+pub fn from_json(json: &str) -> Result<Workflow, String> {
+    let w: Workflow = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    validate(&w).map_err(|e| e.to_string())?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workflow {
+        let mut b = WorkflowBuilder::new("sample");
+        b.initial_input_bytes(1e6);
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 4, TaskProfile::trivial().compute(2.0)));
+        b.begin_phase();
+        let c = b.add_task(Task::new("B", 1, TaskProfile::trivial()));
+        b.depend(c, a, DependencyPattern::AllToAll);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = sample();
+        let json = to_json(&w);
+        let back = from_json(&json).expect("parses");
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_structure() {
+        let mut w = sample();
+        w.phases[1].tasks[0].deps[0].producer = TaskRef::new(5, 5);
+        let json = serde_json::to_string(&w).expect("serialize");
+        let err = from_json(&json).unwrap_err();
+        assert!(err.contains("nonexistent"), "got: {err}");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-task resource profiles.
+//!
+//! The paper's Mashup takes task *executables* plus a DAG; this reproduction
+//! replaces each executable with a [`TaskProfile`] describing how the task
+//! consumes compute, memory, and I/O. The cloud models in `mashup-cloud`
+//! interpret these fields mechanistically, so every placement-relevant
+//! behaviour in the paper (IPC differences between platforms, node-local
+//! contention, I/O-heavy phases, short recurring tasks) is expressible here.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource profile of one task. All per-component quantities describe a
+/// single component; a task runs `components` identical copies on different
+/// inputs (paper §2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// Seconds of pure compute for one component on one VM core.
+    pub compute_secs_vm: f64,
+    /// Runtime multiplier when the component runs inside a serverless
+    /// function instead (captures the IPC gap the paper observes in Fig. 10;
+    /// > 1 means the function is slower than a VM core).
+    pub serverless_slowdown: f64,
+    /// Bytes read by one component from the previous phase / initial input.
+    pub input_bytes: f64,
+    /// Bytes written by one component for the next phase.
+    pub output_bytes: f64,
+    /// Peak resident memory of one component, in GiB. Components whose
+    /// footprint exceeds the FaaS memory cap cannot run serverless.
+    pub memory_gb: f64,
+    /// Memory-pressure thrash coefficient on VM nodes: when co-resident
+    /// components oversubscribe the node's RAM, compute slows by
+    /// `1 + coeff × (resident_set/node_mem − 1)` on top of timesharing
+    /// (0 = no thrash; the mechanism behind the paper's superlinear Eq. 2).
+    pub vm_local_contention: f64,
+    /// Relative runtime spread for cloud variability (e.g. 0.05 = ±5 %).
+    pub runtime_jitter: f64,
+    /// True for tasks that re-appear frequently in the workflow (e.g.
+    /// Mapmerge in Epigenomics). The paper's PDC makes a warm-pool exception
+    /// for these.
+    pub recurring: bool,
+    /// Checkpointable state size of one component, in bytes. Written to
+    /// remote storage when a serverless execution hits the platform time cap.
+    pub checkpoint_bytes: f64,
+    /// Code-identity override for serverless warm pools. Tasks sharing a
+    /// family (e.g. `Mapmerge1`/`Mapmerge2` → `"Mapmerge"`) reuse each
+    /// other's warm microVMs — the mechanism behind the paper's
+    /// frequently-re-appearing-task exception.
+    #[serde(default)]
+    pub code_family: Option<String>,
+}
+
+impl TaskProfile {
+    /// A small, neutral profile useful as a starting point in tests.
+    pub fn trivial() -> Self {
+        TaskProfile {
+            compute_secs_vm: 1.0,
+            serverless_slowdown: 1.0,
+            input_bytes: 0.0,
+            output_bytes: 0.0,
+            memory_gb: 0.5,
+            vm_local_contention: 0.0,
+            runtime_jitter: 0.0,
+            recurring: false,
+            checkpoint_bytes: 0.0,
+            code_family: None,
+        }
+    }
+
+    /// Builder-style: sets per-component compute seconds on a VM core.
+    pub fn compute(mut self, secs: f64) -> Self {
+        self.compute_secs_vm = secs;
+        self
+    }
+
+    /// Builder-style: sets the serverless runtime multiplier.
+    pub fn slowdown(mut self, factor: f64) -> Self {
+        self.serverless_slowdown = factor;
+        self
+    }
+
+    /// Builder-style: sets per-component input/output bytes.
+    pub fn io(mut self, input: f64, output: f64) -> Self {
+        self.input_bytes = input;
+        self.output_bytes = output;
+        self
+    }
+
+    /// Builder-style: sets the memory footprint in GiB.
+    pub fn memory(mut self, gb: f64) -> Self {
+        self.memory_gb = gb;
+        self
+    }
+
+    /// Builder-style: sets the per-co-resident VM contention coefficient.
+    pub fn contention(mut self, coeff: f64) -> Self {
+        self.vm_local_contention = coeff;
+        self
+    }
+
+    /// Builder-style: sets the runtime jitter spread.
+    pub fn jitter(mut self, spread: f64) -> Self {
+        self.runtime_jitter = spread;
+        self
+    }
+
+    /// Builder-style: marks the task as frequently recurring.
+    pub fn recurring(mut self, yes: bool) -> Self {
+        self.recurring = yes;
+        self
+    }
+
+    /// Builder-style: sets the checkpointable state size in bytes.
+    pub fn checkpoint(mut self, bytes: f64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: sets the shared code family for warm-pool reuse.
+    pub fn family(mut self, name: impl Into<String>) -> Self {
+        self.code_family = Some(name.into());
+        self
+    }
+
+    /// Validates that all fields are finite and in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let nonneg = [
+            ("compute_secs_vm", self.compute_secs_vm),
+            ("input_bytes", self.input_bytes),
+            ("output_bytes", self.output_bytes),
+            ("memory_gb", self.memory_gb),
+            ("vm_local_contention", self.vm_local_contention),
+            ("checkpoint_bytes", self.checkpoint_bytes),
+        ];
+        for (name, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("profile field {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        if !self.serverless_slowdown.is_finite() || self.serverless_slowdown <= 0.0 {
+            return Err(format!(
+                "serverless_slowdown must be positive, got {}",
+                self.serverless_slowdown
+            ));
+        }
+        if !(0.0..1.0).contains(&self.runtime_jitter) {
+            return Err(format!(
+                "runtime_jitter must be in [0,1), got {}",
+                self.runtime_jitter
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total bytes moved by one component (read + write).
+    pub fn io_bytes(&self) -> f64 {
+        self.input_bytes + self.output_bytes
+    }
+
+    /// Seconds of pure compute for one component inside a serverless
+    /// function.
+    pub fn compute_secs_serverless(&self) -> f64 {
+        self.compute_secs_vm * self.serverless_slowdown
+    }
+}
+
+impl Default for TaskProfile {
+    fn default() -> Self {
+        Self::trivial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = TaskProfile::trivial()
+            .compute(10.0)
+            .slowdown(1.5)
+            .io(100.0, 50.0)
+            .memory(2.0)
+            .contention(0.1)
+            .jitter(0.05)
+            .recurring(true)
+            .checkpoint(42.0);
+        assert_eq!(p.compute_secs_vm, 10.0);
+        assert_eq!(p.compute_secs_serverless(), 15.0);
+        assert_eq!(p.io_bytes(), 150.0);
+        assert!(p.recurring);
+        assert_eq!(p.checkpoint_bytes, 42.0);
+        p.validate().expect("valid profile");
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(TaskProfile::trivial().compute(-1.0).validate().is_err());
+        assert!(TaskProfile::trivial().slowdown(0.0).validate().is_err());
+        assert!(TaskProfile::trivial().jitter(1.5).validate().is_err());
+        let mut p = TaskProfile::trivial();
+        p.input_bytes = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = TaskProfile::trivial().compute(3.0).io(1.0, 2.0);
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: TaskProfile = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-invocation "serverless" workers with cold starts and timeouts.
+//!
+//! Each invocation runs on a freshly spawned thread (a microVM stand-in).
+//! First use of a code identity pays a configurable cold-start sleep;
+//! finished workers leave a warm token behind for a keep-alive window, and
+//! reusing one skips the cold start — the local-execution mirror of the
+//! simulated FaaS platform. Timeouts are enforced cooperatively: an
+//! invocation that runs past its deadline is reported as timed out (its
+//! result is discarded), matching how the checkpointing executor treats the
+//! platform cap as a hard budget.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Platform constants for the local FaaS pool (durations are real time, so
+/// tests scale them to milliseconds).
+#[derive(Debug, Clone)]
+pub struct FaasPoolConfig {
+    /// Cold-start sleep before the payload runs.
+    pub cold_start: Duration,
+    /// How long a finished worker stays warm.
+    pub keep_alive: Duration,
+    /// Hard execution budget per invocation (payload time).
+    pub timeout: Duration,
+}
+
+impl Default for FaasPoolConfig {
+    fn default() -> Self {
+        FaasPoolConfig {
+            cold_start: Duration::from_millis(20),
+            keep_alive: Duration::from_secs(5),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Result of one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationOutcome {
+    /// Completed within budget; whether the start was cold.
+    Completed {
+        /// True when the invocation paid the cold start.
+        cold: bool,
+    },
+    /// Ran past the timeout; the result was discarded.
+    TimedOut,
+}
+
+#[derive(Default)]
+struct WarmPools {
+    by_key: HashMap<String, Vec<Instant>>, // expiry instants
+    cold_starts: u64,
+    warm_starts: u64,
+}
+
+/// A local serverless platform: spawn-per-invocation with warm reuse.
+#[derive(Clone, Default)]
+pub struct FaasPool {
+    cfg: Arc<FaasPoolConfig>,
+    pools: Arc<Mutex<WarmPools>>,
+}
+
+impl FaasPool {
+    /// Creates a pool with the given constants.
+    pub fn new(cfg: FaasPoolConfig) -> Self {
+        FaasPool {
+            cfg: Arc::new(cfg),
+            pools: Arc::default(),
+        }
+    }
+
+    /// Cold starts paid so far.
+    pub fn cold_starts(&self) -> u64 {
+        self.pools.lock().cold_starts
+    }
+
+    /// Warm starts so far.
+    pub fn warm_starts(&self) -> u64 {
+        self.pools.lock().warm_starts
+    }
+
+    fn take_warm(&self, key: &str) -> bool {
+        let mut p = self.pools.lock();
+        let now = Instant::now();
+        if let Some(pool) = p.by_key.get_mut(key) {
+            pool.retain(|&exp| exp > now);
+            if pool.pop().is_some() {
+                p.warm_starts += 1;
+                return true;
+            }
+        }
+        p.cold_starts += 1;
+        false
+    }
+
+    fn return_warm(&self, key: &str) {
+        let mut p = self.pools.lock();
+        p.by_key
+            .entry(key.to_string())
+            .or_default()
+            .push(Instant::now() + self.cfg.keep_alive);
+    }
+
+    /// Invokes `payload` under code identity `code_key` on a fresh thread,
+    /// returning a join handle yielding the payload's value and outcome.
+    pub fn invoke<T: Send + 'static>(
+        &self,
+        code_key: &str,
+        payload: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::JoinHandle<(Option<T>, InvocationOutcome)> {
+        let pool = self.clone();
+        let key = code_key.to_string();
+        std::thread::Builder::new()
+            .name(format!("faas-{key}"))
+            .spawn(move || {
+                let warm = pool.take_warm(&key);
+                if !warm {
+                    std::thread::sleep(pool.cfg.cold_start);
+                }
+                let begin = Instant::now();
+                let value = payload();
+                let elapsed = begin.elapsed();
+                if elapsed > pool.cfg.timeout {
+                    // Over budget: the platform would have killed it; the
+                    // worker is not rewarmed and the result is dropped.
+                    (None, InvocationOutcome::TimedOut)
+                } else {
+                    pool.return_warm(&key);
+                    (Some(value), InvocationOutcome::Completed { cold: !warm })
+                }
+            })
+            .expect("spawn invocation thread")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> FaasPoolConfig {
+        FaasPoolConfig {
+            cold_start: Duration::from_millis(30),
+            keep_alive: Duration::from_secs(10),
+            timeout: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn first_invocation_is_cold_second_is_warm() {
+        let pool = FaasPool::new(fast_cfg());
+        let (v, o) = pool.invoke("t", || 41 + 1).join().expect("join");
+        assert_eq!(v, Some(42));
+        assert_eq!(o, InvocationOutcome::Completed { cold: true });
+        let (_, o2) = pool.invoke("t", || 0).join().expect("join");
+        assert_eq!(o2, InvocationOutcome::Completed { cold: false });
+        assert_eq!(pool.cold_starts(), 1);
+        assert_eq!(pool.warm_starts(), 1);
+    }
+
+    #[test]
+    fn different_code_keys_cold_start_independently() {
+        let pool = FaasPool::new(fast_cfg());
+        pool.invoke("a", || ()).join().expect("join");
+        let (_, o) = pool.invoke("b", || ()).join().expect("join");
+        assert_eq!(o, InvocationOutcome::Completed { cold: true });
+        assert_eq!(pool.cold_starts(), 2);
+    }
+
+    #[test]
+    fn cold_start_costs_real_time() {
+        let pool = FaasPool::new(fast_cfg());
+        let begin = Instant::now();
+        pool.invoke("t", || ()).join().expect("join");
+        assert!(begin.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn overrunning_invocation_times_out() {
+        let pool = FaasPool::new(fast_cfg());
+        let (v, o) = pool
+            .invoke("slow", || {
+                std::thread::sleep(Duration::from_millis(300));
+                7
+            })
+            .join()
+            .expect("join");
+        assert_eq!(o, InvocationOutcome::TimedOut);
+        assert_eq!(v, None);
+        // Timed-out workers are not rewarmed.
+        let (_, o2) = pool.invoke("slow", || ()).join().expect("join");
+        assert_eq!(o2, InvocationOutcome::Completed { cold: true });
+    }
+
+    #[test]
+    fn concurrent_invocations_all_complete() {
+        let pool = FaasPool::new(fast_cfg());
+        let handles: Vec<_> = (0..32).map(|i| pool.invoke("par", move || i * 2)).collect();
+        let mut results: Vec<i32> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join").0.expect("completed"))
+            .collect();
+        results.sort();
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,26 @@
+//! # mashup-local
+//!
+//! A *real* execution backend mirroring the simulated cloud provider: a
+//! fixed thread pool stands in for the VM cluster ([`VmPool`]),
+//! per-invocation workers with genuine cold-start sleeps, warm-pool reuse,
+//! and timeouts stand in for the FaaS platform ([`FaasPool`]), and a
+//! concurrent in-memory object store ([`MemStore`]) carries the bytes.
+//!
+//! [`LocalBackend`] executes any `mashup-dag` workflow with user-supplied
+//! closures per task, honouring the same placement semantics as the
+//! simulated hybrid executor — demonstrating that the Mashup engine's
+//! abstractions are not simulator-bound.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod faas_pool;
+mod store;
+mod vm_pool;
+
+pub use backend::{
+    ComponentCtx, LocalBackend, LocalPlacement, LocalRunReport, LocalTaskReport, TaskLogic,
+};
+pub use faas_pool::{FaasPool, FaasPoolConfig, InvocationOutcome};
+pub use store::MemStore;
+pub use vm_pool::VmPool;

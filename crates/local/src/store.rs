@@ -1,0 +1,106 @@
+//! An in-memory object store for the local execution backend.
+//!
+//! The real-execution counterpart of the simulated S3 model: a concurrent
+//! key→bytes map that workflow components use to exchange data across the
+//! thread-pool "cluster" and the per-invocation "functions", exactly as the
+//! simulated executors exchange data through the simulated store.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shareable in-memory object store. Cloning shares the same map.
+#[derive(Clone, Default)]
+pub struct MemStore {
+    inner: Arc<RwLock<HashMap<String, Bytes>>>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `bytes` under `key`, replacing any previous value.
+    pub fn put(&self, key: impl Into<String>, bytes: impl Into<Bytes>) {
+        self.inner.write().insert(key.into(), bytes.into());
+    }
+
+    /// Fetches the object under `key`.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Fetches `key`, panicking with a scheduling-bug diagnostic when the
+    /// producer has not written it yet (mirrors the simulated store's
+    /// `assert_present`).
+    pub fn must_get(&self, key: &str) -> Bytes {
+        self.get(key).unwrap_or_else(|| {
+            panic!("object '{key}' read before it was written: scheduling bug")
+        })
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.read().values().map(|b| b.len()).sum()
+    }
+
+    /// Removes an object, returning it.
+    pub fn remove(&self, key: &str) -> Option<Bytes> {
+        self.inner.write().remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = MemStore::new();
+        s.put("a", vec![1, 2, 3]);
+        assert_eq!(s.get("a").expect("present").as_ref(), &[1, 2, 3]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 3);
+        assert_eq!(s.remove("a").expect("present").len(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling bug")]
+    fn must_get_panics_on_missing() {
+        MemStore::new().must_get("nope");
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let s = MemStore::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = s.clone();
+                thread::spawn(move || {
+                    for j in 0..100 {
+                        s.put(format!("k{i}-{j}"), vec![i as u8; 16]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer finished");
+        }
+        assert_eq!(s.len(), 800);
+        assert_eq!(s.total_bytes(), 800 * 16);
+    }
+}

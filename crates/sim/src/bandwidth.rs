@@ -1,0 +1,444 @@
+//! Max-min fair-share bandwidth links.
+//!
+//! A [`SharedLink`] models a network or storage channel of fixed aggregate
+//! capacity. Concurrent transfers receive max-min fair shares (water-filling
+//! over optional per-flow caps); whenever the set of active transfers
+//! changes, progress is advanced under the old shares and the next completion
+//! is re-planned under the new ones. This is the mechanism behind every
+//! contention effect in the cloud models: master-NIC bottlenecks, S3
+//! aggregate-bandwidth saturation, and cluster-network congestion.
+
+use crate::engine::{EventHandle, Simulation};
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Completion epsilon: transfers within this many bytes of done are finished.
+const EPS_BYTES: f64 = 1e-6;
+
+type DoneFn = Box<dyn FnOnce(&mut Simulation)>;
+
+/// Identifier of an in-flight transfer on a particular link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(u64);
+
+struct Transfer {
+    remaining: f64,
+    /// Per-flow bandwidth cap in bytes/sec (`f64::INFINITY` when uncapped).
+    cap: f64,
+    on_done: Option<DoneFn>,
+}
+
+struct LinkState {
+    name: String,
+    capacity: f64,
+    transfers: BTreeMap<u64, Transfer>,
+    next_id: u64,
+    last_update: SimTime,
+    completion_event: Option<EventHandle>,
+    bytes_delivered: f64,
+    // Time series of (time, utilized fraction) for figure traces.
+    utilization_trace: Vec<(f64, f64)>,
+    trace_enabled: bool,
+}
+
+impl LinkState {
+    /// Computes the max-min fair share per transfer id (water-filling with
+    /// per-flow caps). The sum of shares never exceeds capacity.
+    fn shares(&self) -> BTreeMap<u64, f64> {
+        let mut shares: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut unassigned: Vec<(u64, f64)> = self
+            .transfers
+            .iter()
+            .map(|(&id, t)| (id, t.cap))
+            .collect();
+        // Sort by cap ascending so capped flows saturate first.
+        unassigned.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("caps are never NaN"));
+        let mut remaining_cap = self.capacity;
+        let mut i = 0;
+        while i < unassigned.len() {
+            let n_left = (unassigned.len() - i) as f64;
+            let fair = remaining_cap / n_left;
+            let (id, cap) = unassigned[i];
+            let share = cap.min(fair);
+            shares.insert(id, share);
+            remaining_cap -= share;
+            i += 1;
+        }
+        shares
+    }
+
+    /// Advances every transfer's progress from `last_update` to `now` under
+    /// the current shares.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update).as_secs();
+        if dt > 0.0 && !self.transfers.is_empty() {
+            let shares = self.shares();
+            let mut delivered = 0.0;
+            for (id, t) in self.transfers.iter_mut() {
+                let moved = (shares[id] * dt).min(t.remaining);
+                t.remaining -= moved;
+                delivered += moved;
+            }
+            self.bytes_delivered += delivered;
+        }
+        self.last_update = now;
+    }
+
+    fn record_utilization(&mut self, now: SimTime) {
+        if self.trace_enabled {
+            let used: f64 = self.shares().values().sum();
+            let frac = if self.capacity > 0.0 {
+                used / self.capacity
+            } else {
+                0.0
+            };
+            self.utilization_trace.push((now.as_secs(), frac));
+        }
+    }
+}
+
+/// A shareable handle to a fair-share link. Cloning shares the same channel.
+#[derive(Clone)]
+pub struct SharedLink {
+    inner: Rc<RefCell<LinkState>>,
+}
+
+impl SharedLink {
+    /// Creates a link with `capacity_bps` aggregate bytes/sec.
+    pub fn new(name: impl Into<String>, capacity_bps: f64) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive"
+        );
+        SharedLink {
+            inner: Rc::new(RefCell::new(LinkState {
+                name: name.into(),
+                capacity: capacity_bps,
+                transfers: BTreeMap::new(),
+                next_id: 0,
+                last_update: SimTime::ZERO,
+                completion_event: None,
+                bytes_delivered: 0.0,
+                utilization_trace: Vec::new(),
+                trace_enabled: false,
+            })),
+        }
+    }
+
+    /// Enables recording of a `(time, utilized fraction)` trace.
+    pub fn enable_trace(&self) {
+        self.inner.borrow_mut().trace_enabled = true;
+    }
+
+    /// Returns the recorded utilization trace.
+    pub fn trace(&self) -> Vec<(f64, f64)> {
+        self.inner.borrow().utilization_trace.clone()
+    }
+
+    /// The link name (for diagnostics).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Aggregate capacity in bytes/sec.
+    pub fn capacity_bps(&self) -> f64 {
+        self.inner.borrow().capacity
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_transfers(&self) -> usize {
+        self.inner.borrow().transfers.len()
+    }
+
+    /// Total bytes delivered so far (advanced to `now`).
+    pub fn bytes_delivered(&self, now: SimTime) -> f64 {
+        let mut s = self.inner.borrow_mut();
+        s.advance(now);
+        s.bytes_delivered
+    }
+
+    /// Starts a transfer of `bytes` with an optional per-flow cap, invoking
+    /// `on_done` when the last byte arrives. Zero-byte transfers complete at
+    /// the current instant.
+    pub fn start_transfer(
+        &self,
+        sim: &mut Simulation,
+        bytes: f64,
+        per_flow_cap: Option<f64>,
+        on_done: impl FnOnce(&mut Simulation) + 'static,
+    ) -> TransferId {
+        assert!(bytes.is_finite() && bytes >= 0.0, "invalid transfer size");
+        if bytes <= EPS_BYTES {
+            sim.schedule_now(on_done);
+            // Allocate an id anyway so callers can treat it uniformly.
+            let mut s = self.inner.borrow_mut();
+            let id = s.next_id;
+            s.next_id += 1;
+            return TransferId(id);
+        }
+        let id = {
+            let mut s = self.inner.borrow_mut();
+            s.advance(sim.now());
+            let id = s.next_id;
+            s.next_id += 1;
+            s.transfers.insert(
+                id,
+                Transfer {
+                    remaining: bytes,
+                    cap: per_flow_cap.unwrap_or(f64::INFINITY),
+                    on_done: Some(Box::new(on_done)),
+                },
+            );
+            s.record_utilization(sim.now());
+            id
+        };
+        self.replan(sim);
+        TransferId(id)
+    }
+
+    /// Cancels an in-flight transfer; its completion callback never fires.
+    /// Returns the bytes that were still outstanding (0 if already finished).
+    pub fn cancel_transfer(&self, sim: &mut Simulation, id: TransferId) -> f64 {
+        let remaining = {
+            let mut s = self.inner.borrow_mut();
+            s.advance(sim.now());
+            let rem = s.transfers.remove(&id.0).map(|t| t.remaining);
+            s.record_utilization(sim.now());
+            rem
+        };
+        if remaining.is_some() {
+            self.replan(sim);
+        }
+        remaining.unwrap_or(0.0)
+    }
+
+    /// Re-plans the next completion event from the current state.
+    fn replan(&self, sim: &mut Simulation) {
+        let next_completion: Option<SimDuration> = {
+            let mut s = self.inner.borrow_mut();
+            if let Some(h) = s.completion_event.take() {
+                sim.cancel(h);
+            }
+            if s.transfers.is_empty() {
+                None
+            } else {
+                let shares = s.shares();
+                let dt = s
+                    .transfers
+                    .iter()
+                    .map(|(id, t)| {
+                        let share = shares[id];
+                        if share <= 0.0 {
+                            f64::INFINITY
+                        } else {
+                            t.remaining / share
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                assert!(dt.is_finite(), "transfer on link '{}' starved", s.name);
+                Some(SimDuration::from_secs(dt))
+            }
+        };
+        if let Some(dt) = next_completion {
+            let link = self.clone();
+            let h = sim.schedule_in(dt, move |sim| link.on_completion_tick(sim));
+            self.inner.borrow_mut().completion_event = Some(h);
+        }
+    }
+
+    fn on_completion_tick(&self, sim: &mut Simulation) {
+        // Advance, detach finished transfers, run their callbacks, replan.
+        let finished: Vec<DoneFn> = {
+            let mut s = self.inner.borrow_mut();
+            s.completion_event = None;
+            s.advance(sim.now());
+            let mut done_ids: Vec<u64> = s
+                .transfers
+                .iter()
+                .filter(|(_, t)| t.remaining <= EPS_BYTES)
+                .map(|(&id, _)| id)
+                .collect();
+            if done_ids.is_empty() && !s.transfers.is_empty() {
+                // Ticks fire exactly at a planned completion, so if nothing
+                // crossed the epsilon the residue is floating-point error
+                // (advancing by `remaining/share` can round to a dt smaller
+                // than one ulp of the clock, which would loop forever).
+                // Force-finish the transfer closest to done.
+                let (&id, _) = s
+                    .transfers
+                    .iter()
+                    .min_by(|a, b| {
+                        a.1.remaining
+                            .partial_cmp(&b.1.remaining)
+                            .expect("remaining is never NaN")
+                    })
+                    .expect("non-empty");
+                let residue = {
+                    let t = s.transfers.get_mut(&id).expect("present");
+                    let r = t.remaining;
+                    t.remaining = 0.0;
+                    r
+                };
+                s.bytes_delivered += residue;
+                done_ids.push(id);
+            }
+            let mut callbacks = Vec::with_capacity(done_ids.len());
+            for id in done_ids {
+                if let Some(mut t) = s.transfers.remove(&id) {
+                    if let Some(cb) = t.on_done.take() {
+                        callbacks.push(cb);
+                    }
+                }
+            }
+            s.record_utilization(sim.now());
+            callbacks
+        };
+        for cb in finished {
+            cb(sim);
+        }
+        self.replan(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn finish_times(link: &SharedLink, jobs: &[(f64, Option<f64>, f64)]) -> Vec<f64> {
+        // jobs: (bytes, cap, start_time) -> completion times in job order.
+        let mut sim = Simulation::new();
+        let out: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &(bytes, cap, start)) in jobs.iter().enumerate() {
+            let link = link.clone();
+            let out = out.clone();
+            sim.schedule_at(SimTime::from_secs(start), move |sim| {
+                link.start_transfer(sim, bytes, cap, move |sim| {
+                    out.borrow_mut().push((i, sim.now().as_secs()));
+                });
+            });
+        }
+        sim.run();
+        let mut v = out.borrow().clone();
+        v.sort_by_key(|&(i, _)| i);
+        v.into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn single_transfer_uses_full_capacity() {
+        let link = SharedLink::new("l", 100.0);
+        let t = finish_times(&link, &[(1000.0, None, 0.0)]);
+        assert!((t[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_equal_transfers_share_evenly() {
+        let link = SharedLink::new("l", 100.0);
+        let t = finish_times(&link, &[(500.0, None, 0.0), (500.0, None, 0.0)]);
+        // Each gets 50 B/s -> both complete at t=10.
+        assert!((t[0] - 10.0).abs() < 1e-9);
+        assert!((t[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_transfer_frees_bandwidth_for_long_one() {
+        let link = SharedLink::new("l", 100.0);
+        // A: 1000 bytes, B: 100 bytes. Until B is done both run at 50 B/s.
+        // B finishes at t=2 (100/50). A then has 900 bytes left at 100 B/s,
+        // finishing at 2 + 9 = 11.
+        let t = finish_times(&link, &[(1000.0, None, 0.0), (100.0, None, 0.0)]);
+        assert!((t[1] - 2.0).abs() < 1e-9, "B at {}", t[1]);
+        assert!((t[0] - 11.0).abs() < 1e-9, "A at {}", t[0]);
+    }
+
+    #[test]
+    fn per_flow_cap_limits_share() {
+        let link = SharedLink::new("l", 100.0);
+        // Capped at 10 B/s: 100 bytes takes 10 s even though link is idle.
+        let t = finish_times(&link, &[(100.0, Some(10.0), 0.0)]);
+        assert!((t[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_filling_redistributes_capped_leftovers() {
+        let link = SharedLink::new("l", 100.0);
+        // One flow capped at 20 B/s, one uncapped: uncapped gets 80 B/s.
+        // capped: 200/20 = 10 s; uncapped: 800/80 = 10 s.
+        let t = finish_times(
+            &link,
+            &[(200.0, Some(20.0), 0.0), (800.0, None, 0.0)],
+        );
+        assert!((t[0] - 10.0).abs() < 1e-9);
+        assert!((t[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_slows_down_existing_transfer() {
+        let link = SharedLink::new("l", 100.0);
+        // A: 1000 bytes at t=0, alone until t=5 (500 done). B: 250 bytes at
+        // t=5; both at 50 B/s. B done at t=10. A has 250 left at t=10, full
+        // speed -> done at t=12.5.
+        let t = finish_times(&link, &[(1000.0, None, 0.0), (250.0, None, 5.0)]);
+        assert!((t[1] - 10.0).abs() < 1e-9, "B at {}", t[1]);
+        assert!((t[0] - 12.5).abs() < 1e-9, "A at {}", t[0]);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_immediately() {
+        let link = SharedLink::new("l", 100.0);
+        let t = finish_times(&link, &[(0.0, None, 3.0)]);
+        assert!((t[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_returns_outstanding_bytes_and_suppresses_callback() {
+        let mut sim = Simulation::new();
+        let link = SharedLink::new("l", 100.0);
+        let fired = Rc::new(RefCell::new(false));
+        let fired2 = fired.clone();
+        let link2 = link.clone();
+        let id = Rc::new(RefCell::new(None));
+        let id2 = id.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| {
+            let t = link2.start_transfer(sim, 1000.0, None, move |_| {
+                *fired2.borrow_mut() = true;
+            });
+            *id2.borrow_mut() = Some(t);
+        });
+        let link3 = link.clone();
+        let id3 = id.clone();
+        sim.schedule_at(SimTime::from_secs(4.0), move |sim| {
+            let remaining = link3.cancel_transfer(sim, id3.borrow().unwrap());
+            // 4 s at 100 B/s -> 600 bytes left.
+            assert!((remaining - 600.0).abs() < 1e-9);
+        });
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(link.active_transfers(), 0);
+    }
+
+    #[test]
+    fn bytes_delivered_accumulates() {
+        let link = SharedLink::new("l", 100.0);
+        let _ = finish_times(&link, &[(300.0, None, 0.0), (200.0, None, 1.0)]);
+        let mut sim = Simulation::new();
+        sim.run_until(Some(SimTime::from_secs(100.0)));
+        assert!((link.bytes_delivered(sim.now()) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_concurrent_transfers_conserve_capacity() {
+        // 10 transfers of 100 bytes each on a 100 B/s link: aggregate work is
+        // 1000 bytes -> exactly 10 seconds regardless of sharing pattern.
+        let link = SharedLink::new("l", 100.0);
+        let jobs: Vec<(f64, Option<f64>, f64)> =
+            (0..10).map(|_| (100.0, None, 0.0)).collect();
+        let t = finish_times(&link, &jobs);
+        for ti in t {
+            assert!((ti - 10.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The discrete-event simulation core.
+//!
+//! Events are boxed `FnOnce(&mut Simulation)` closures ordered by
+//! `(time, sequence-number)`. The sequence number makes simultaneous events
+//! fire in scheduling order, so a run is fully deterministic for a given
+//! seed and program order. World state lives outside the engine (typically
+//! behind `Rc<RefCell<..>>` handles captured by the event closures), which
+//! keeps the engine free of domain knowledge.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event callback: runs at its scheduled instant with access to the engine
+/// so it can schedule follow-up events.
+pub type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Token identifying a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// A deterministic discrete-event simulator.
+///
+/// # Example
+/// ```
+/// use mashup_sim::{Simulation, SimDuration};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new();
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// sim.schedule_in(SimDuration::from_secs(5.0), move |sim| {
+///     h.set(h.get() + 1);
+///     assert_eq!(sim.now().as_secs(), 5.0);
+/// });
+/// sim.run();
+/// assert_eq!(hits.get(), 1);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    cancelled: std::collections::HashSet<u64>,
+    events_processed: u64,
+    /// Hard cap on processed events; guards against runaway event loops.
+    event_limit: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Sets a hard cap on the number of events processed; `run` panics when
+    /// exceeded. Useful for catching accidental event storms in tests.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules `event` at absolute time `at`. Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        }));
+        EventHandle(seq)
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventHandle {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` to run at the current instant, after all events
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, event: impl FnOnce(&mut Simulation) + 'static) -> EventHandle {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-fired or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Runs until the queue drains. Returns the final simulated time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(None)
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`.
+    /// Events scheduled exactly at the deadline still fire.
+    pub fn run_until(&mut self, deadline: Option<SimTime>) -> SimTime {
+        while let Some(Reverse(head)) = self.queue.pop() {
+            if self.cancelled.remove(&head.seq) {
+                continue;
+            }
+            if let Some(d) = deadline {
+                if head.at > d {
+                    // Put it back for a later resume and stop at the deadline.
+                    self.queue.push(Reverse(head));
+                    self.now = d;
+                    return self.now;
+                }
+            }
+            debug_assert!(head.at >= self.now, "event queue went backwards");
+            self.now = head.at;
+            self.events_processed += 1;
+            if self.events_processed > self.event_limit {
+                panic!(
+                    "simulation exceeded event limit of {} events",
+                    self.event_limit
+                );
+            }
+            (head.run)(self);
+        }
+        if let Some(d) = deadline {
+            self.now = self.now.max(d);
+        }
+        self.now
+    }
+
+    /// True if no events remain (ignoring cancelled ones still in the heap).
+    pub fn is_idle(&self) -> bool {
+        self.queue
+            .iter()
+            .all(|Reverse(s)| self.cancelled.contains(&s.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn record(log: &Rc<RefCell<Vec<u32>>>, id: u32) -> impl FnOnce(&mut Simulation) + 'static {
+        let log = log.clone();
+        move |_| log.borrow_mut().push(id)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_at(SimTime::from_secs(3.0), record(&log, 3));
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
+        sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
+        let end = sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(end.as_secs(), 3.0);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..10 {
+            sim.schedule_at(SimTime::from_secs(1.0), record(&log, id));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
+            log2.borrow_mut().push(sim.now().as_secs() as u32);
+            let log3 = log2.clone();
+            sim.schedule_in(SimDuration::from_secs(4.0), move |sim| {
+                log3.borrow_mut().push(sim.now().as_secs() as u32);
+            });
+        });
+        let end = sim.run();
+        assert_eq!(*log.borrow(), vec![1, 5]);
+        assert_eq!(end.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let h = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
+        sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
+        sim.cancel(h);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn run_until_deadline_pauses_and_resumes() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
+        sim.schedule_at(SimTime::from_secs(10.0), record(&log, 10));
+        let t = sim.run_until(Some(SimTime::from_secs(5.0)));
+        assert_eq!(t.as_secs(), 5.0);
+        assert_eq!(*log.borrow(), vec![1]);
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 10]);
+    }
+
+    #[test]
+    fn deadline_advances_clock_even_when_idle() {
+        let mut sim = Simulation::new();
+        let t = sim.run_until(Some(SimTime::from_secs(7.0)));
+        assert_eq!(t.as_secs(), 7.0);
+        assert_eq!(sim.now().as_secs(), 7.0);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
+            log2.borrow_mut().push(100);
+            let log3 = log2.clone();
+            sim.schedule_now(move |_| log3.borrow_mut().push(101));
+        });
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 200));
+        sim.run();
+        // The follow-up runs at the same instant, but after event 200 which
+        // was scheduled earlier.
+        assert_eq!(*log.borrow(), vec![100, 200, 101]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(5.0), |sim| {
+            sim.schedule_at(SimTime::from_secs(1.0), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_detects_runaway_loops() {
+        let mut sim = Simulation::new().with_event_limit(100);
+        fn rearm(sim: &mut Simulation) {
+            sim.schedule_in(SimDuration::from_secs(1.0), rearm);
+        }
+        sim.schedule_now(rearm);
+        sim.run();
+    }
+
+    #[test]
+    fn events_processed_counts_fired_events_only() {
+        let mut sim = Simulation::new();
+        let h = sim.schedule_at(SimTime::from_secs(1.0), |_| {});
+        sim.schedule_at(SimTime::from_secs(2.0), |_| {});
+        sim.cancel(h);
+        sim.run();
+        assert_eq!(sim.events_processed(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mashup-sim
+//!
+//! A small, deterministic discrete-event simulation engine: the substrate
+//! underneath the Mashup reproduction's cloud models.
+//!
+//! The engine is deliberately domain-free. It provides:
+//!
+//! * [`Simulation`] — an event loop ordered by `(time, sequence)`, so runs
+//!   are bit-for-bit reproducible for a given seed and program order;
+//! * [`Resource`] — counted capacity with FIFO admission (core slots,
+//!   concurrency caps);
+//! * [`SharedLink`] — max-min fair-share bandwidth channels, the mechanism
+//!   behind every network/storage contention effect in the paper;
+//! * [`SeedSource`]/[`stream_rng`] — labelled deterministic RNG streams;
+//! * metric primitives ([`Counter`], [`TimeWeightedGauge`], [`Histogram`],
+//!   [`Series`]) for reports and figure traces.
+//!
+//! Domain state lives outside the engine behind `Rc<RefCell<..>>` handles
+//! captured by event closures; see `mashup-cloud` for the cloud models built
+//! on top.
+
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod engine;
+mod metrics;
+mod resource;
+mod rng;
+mod time;
+
+pub use bandwidth::{SharedLink, TransferId};
+pub use engine::{EventFn, EventHandle, Simulation};
+pub use metrics::{Counter, Histogram, Series, TimeWeightedGauge};
+pub use resource::Resource;
+pub use rng::{jitter_factor, stream_rng, SeedSource};
+pub use time::{SimDuration, SimTime};

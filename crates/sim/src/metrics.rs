@@ -1,0 +1,298 @@
+//! Lightweight metric primitives used by the cloud models.
+//!
+//! These are deliberately simple value types (no global registry): the cloud
+//! components own their metrics and expose them through their reports. The
+//! [`Series`] type backs the Fig. 10 system-metric traces (IPC, network and
+//! memory bandwidth over time).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A monotonically growing sum.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    total: f64,
+    events: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` (must be non-negative).
+    pub fn add(&mut self, amount: f64) {
+        debug_assert!(amount >= 0.0, "counters only grow");
+        self.total += amount;
+        self.events += 1;
+    }
+
+    /// The accumulated sum.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of `add` calls.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean contribution per event (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total / self.events as f64
+        }
+    }
+}
+
+/// A gauge whose time-weighted average is tracked against the sim clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeightedGauge {
+    value: f64,
+    last_change: f64,
+    weighted_sum: f64,
+    peak: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Creates a gauge starting at `initial` at t = 0.
+    pub fn new(initial: f64) -> Self {
+        TimeWeightedGauge {
+            value: initial,
+            last_change: 0.0,
+            weighted_sum: 0.0,
+            peak: initial,
+        }
+    }
+
+    /// Sets the gauge at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let t = now.as_secs();
+        self.weighted_sum += self.value * (t - self.last_change).max(0.0);
+        self.last_change = t;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Adjusts the gauge by `delta` at time `now`.
+    pub fn adjust(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The maximum value seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[0, now]` (0 for an empty interval).
+    pub fn average(&self, now: SimTime) -> f64 {
+        let t = now.as_secs();
+        if t <= 0.0 {
+            return self.value;
+        }
+        let sum = self.weighted_sum + self.value * (t - self.last_change).max(0.0);
+        sum / t
+    }
+}
+
+/// A sample reservoir with quantile queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite());
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `q`-quantile via nearest-rank on the sorted samples (0 if empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// A time series of `(seconds, value)` points for figure traces.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point at `now`.
+    pub fn push(&mut self, now: SimTime, value: f64) {
+        self.points.push((now.as_secs(), value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Resamples onto `n` buckets over the recorded span, averaging values
+    /// within each bucket (step-function semantics between points).
+    pub fn resample(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let t0 = self.points.first().expect("non-empty").0;
+        let t1 = self.points.last().expect("non-empty").0;
+        if t1 <= t0 {
+            return vec![(t0, self.points.last().expect("non-empty").1)];
+        }
+        let step = (t1 - t0) / n as f64;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        let mut current = self.points[0].1;
+        for b in 0..n {
+            let bucket_end = t0 + step * (b as f64 + 1.0);
+            while idx < self.points.len() && self.points[idx].0 <= bucket_end {
+                current = self.points[idx].1;
+                idx += 1;
+            }
+            out.push((t0 + step * (b as f64 + 0.5), current));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(2.0);
+        c.add(3.0);
+        assert_eq!(c.total(), 5.0);
+        assert_eq!(c.events(), 2);
+        assert_eq!(c.mean(), 2.5);
+    }
+
+    #[test]
+    fn gauge_time_weighted_average() {
+        let mut g = TimeWeightedGauge::new(0.0);
+        g.set(SimTime::from_secs(0.0), 10.0);
+        g.set(SimTime::from_secs(5.0), 20.0);
+        // [0,5): 10, [5,10): 20 -> avg at t=10 is 15.
+        assert!((g.average(SimTime::from_secs(10.0)) - 15.0).abs() < 1e-9);
+        assert_eq!(g.peak(), 20.0);
+        assert_eq!(g.value(), 20.0);
+    }
+
+    #[test]
+    fn gauge_adjust() {
+        let mut g = TimeWeightedGauge::new(1.0);
+        g.adjust(SimTime::from_secs(1.0), 4.0);
+        assert_eq!(g.value(), 5.0);
+        g.adjust(SimTime::from_secs(2.0), -2.0);
+        assert_eq!(g.value(), 3.0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn series_resample_steps() {
+        let mut s = Series::new();
+        s.push(SimTime::from_secs(0.0), 1.0);
+        s.push(SimTime::from_secs(10.0), 2.0);
+        let r = s.resample(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].1, 1.0);
+        assert_eq!(r[1].1, 2.0);
+    }
+
+    #[test]
+    fn series_single_point() {
+        let mut s = Series::new();
+        s.push(SimTime::from_secs(3.0), 9.0);
+        let r = s.resample(4);
+        assert_eq!(r, vec![(3.0, 9.0)]);
+    }
+}

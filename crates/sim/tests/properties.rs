@@ -1,0 +1,120 @@
+//! Property-based tests of the simulation engine invariants.
+
+use mashup_sim::{Resource, SharedLink, SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events always fire in non-decreasing time order, and simultaneous
+    /// events fire in scheduling order, regardless of insertion order.
+    #[test]
+    fn event_order_is_deterministic(times in proptest::collection::vec(0u32..1000, 1..64)) {
+        let mut sim = Simulation::new();
+        let log: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &t) in times.iter().enumerate() {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(t as f64), move |sim| {
+                log.borrow_mut().push((sim.now().as_secs(), i));
+            });
+        }
+        sim.run();
+        let fired = log.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "same-instant order violated");
+            }
+        }
+    }
+
+    /// Wave scheduling: n identical jobs over c slots finish in
+    /// ceil(n/c) * duration seconds.
+    #[test]
+    fn resource_wave_makespan(cap in 1usize..16, n in 1usize..64, dur in 1u32..100) {
+        let dur = dur as f64;
+        let mut sim = Simulation::new();
+        let pool = Resource::new("slots", cap);
+        for _ in 0..n {
+            let pool2 = pool.clone();
+            pool.acquire(&mut sim, move |sim| {
+                sim.schedule_in(SimDuration::from_secs(dur), move |sim| pool2.release(sim));
+            });
+        }
+        let end = sim.run();
+        let waves = (n + cap - 1) / cap;
+        prop_assert!((end.as_secs() - waves as f64 * dur).abs() < 1e-6,
+            "makespan {} != {} waves * {}", end.as_secs(), waves, dur);
+    }
+
+    /// Work conservation on a fair-share link: total bytes over a saturated
+    /// link take exactly sum(bytes)/capacity seconds when all transfers start
+    /// together, no matter how the bytes are split.
+    #[test]
+    fn link_is_work_conserving(sizes in proptest::collection::vec(1u32..10_000, 1..20)) {
+        let cap = 1000.0;
+        let total: f64 = sizes.iter().map(|&b| b as f64).sum();
+        let mut sim = Simulation::new();
+        let link = SharedLink::new("l", cap);
+        let done = Rc::new(RefCell::new(0usize));
+        for &b in &sizes {
+            let done = done.clone();
+            let link2 = link.clone();
+            sim.schedule_at(SimTime::ZERO, move |sim| {
+                link2.start_transfer(sim, b as f64, None, move |_| {
+                    *done.borrow_mut() += 1;
+                });
+            });
+        }
+        let end = sim.run();
+        prop_assert_eq!(*done.borrow(), sizes.len());
+        // The last completion is exactly when the aggregate work drains.
+        prop_assert!((end.as_secs() - total / cap).abs() < 1e-6,
+            "end {} != {}", end.as_secs(), total / cap);
+    }
+
+    /// Per-flow caps: with equal flows all capped below the fair share, each
+    /// flow finishes at bytes/cap independent of the others.
+    #[test]
+    fn capped_flows_are_independent(n in 1usize..10, bytes in 100u32..5000) {
+        let link_cap = 1_000_000.0;
+        let flow_cap = 10.0;
+        let bytes = bytes as f64;
+        let mut sim = Simulation::new();
+        let link = SharedLink::new("l", link_cap);
+        let finishes: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..n {
+            let f = finishes.clone();
+            let link2 = link.clone();
+            sim.schedule_at(SimTime::ZERO, move |sim| {
+                link2.start_transfer(sim, bytes, Some(flow_cap), move |sim| {
+                    f.borrow_mut().push(sim.now().as_secs());
+                });
+            });
+        }
+        sim.run();
+        for &t in finishes.borrow().iter() {
+            prop_assert!((t - bytes / flow_cap).abs() < 1e-6);
+        }
+    }
+
+    /// Two identical runs produce identical event traces (determinism).
+    #[test]
+    fn runs_are_reproducible(times in proptest::collection::vec(0u32..100, 1..32)) {
+        let run = |times: &[u32]| -> Vec<(f64, usize)> {
+            let mut sim = Simulation::new();
+            let log: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, &t) in times.iter().enumerate() {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_secs(t as f64), move |sim| {
+                    log.borrow_mut().push((sim.now().as_secs(), i));
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        };
+        prop_assert_eq!(run(&times), run(&times));
+    }
+}

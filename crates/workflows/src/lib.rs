@@ -1,0 +1,63 @@
+//! # mashup-workflows
+//!
+//! The three HPC workflows the Mashup paper evaluates — [`genome1000`],
+//! [`srasearch`], and [`epigenomics`] — with the exact task/component
+//! structure of the paper's Fig. 1, plus a [`synthetic`] generator for
+//! stress and property testing.
+//!
+//! Each task carries a calibrated `TaskProfile` standing in for the real
+//! executable (see `DESIGN.md` §Substitutions). The calibration encodes the
+//! paper's *observed behaviours* — which task is IPC-bound, write-heavy,
+//! short-running, recurring, or over the FaaS time cap — rather than its
+//! absolute runtimes; the per-task doc comments in each module state which
+//! paper observation every constant encodes.
+
+#![warn(missing_docs)]
+
+pub mod epigenomics;
+pub mod genome1000;
+pub mod srasearch;
+pub mod synthetic;
+
+pub use synthetic::{generate, SyntheticConfig};
+
+use mashup_dag::Workflow;
+
+/// The three paper workflows at default input scale, in the order the paper
+/// presents them.
+pub fn paper_workflows() -> Vec<Workflow> {
+    vec![
+        genome1000::workflow(),
+        srasearch::workflow(),
+        epigenomics::workflow(),
+    ]
+}
+
+/// Representative input scales for the §5 input-size sensitivity study
+/// (SRAsearch inputs spanning ~5 TB to ~8.4 TB around the 6 TB default).
+pub const INPUT_SCALES: [f64; 4] = [0.83, 1.0, 1.17, 1.4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workflows_have_paper_counts() {
+        let ws = paper_workflows();
+        assert_eq!(ws.len(), 3);
+        let counts: Vec<(usize, usize)> = ws
+            .iter()
+            .map(|w| (w.task_count(), w.component_count()))
+            .collect();
+        assert_eq!(counts, vec![(5, 2506), (5, 404), (9, 2007)]);
+    }
+
+    #[test]
+    fn workflows_serialize_to_json() {
+        for w in paper_workflows() {
+            let json = mashup_dag::to_json(&w);
+            let back = mashup_dag::from_json(&json).expect("round trip");
+            assert_eq!(w, back);
+        }
+    }
+}

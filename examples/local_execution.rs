@@ -1,0 +1,93 @@
+//! Execute a workflow with *real threads and real bytes* through the local
+//! backend: a thread-pool "cluster", spawn-per-invocation "functions" with
+//! genuine cold-start sleeps, and an in-memory object store. The same DAG
+//! and placement semantics as the simulator — here computing an actual
+//! result (word counts over generated text shards).
+//!
+//! ```text
+//! cargo run --release --example local_execution
+//! ```
+
+use mashup::dag::{DependencyPattern, Task, TaskProfile, WorkflowBuilder};
+use mashup::local::{FaasPool, FaasPoolConfig, LocalBackend, LocalPlacement};
+use std::time::Duration;
+
+fn main() {
+    // A map/reduce-shaped workflow: 16 shard counters fan into one summer.
+    let mut b = WorkflowBuilder::new("wordcount");
+    b.begin_phase();
+    let count = b.add_task(Task::new("count", 16, TaskProfile::trivial()));
+    b.begin_phase();
+    let sum = b.add_task(Task::new("sum", 1, TaskProfile::trivial()));
+    b.depend(sum, count, DependencyPattern::AllToAll);
+    let workflow = b.build().expect("valid workflow");
+
+    let mut backend = LocalBackend::new(
+        4, // "cluster" worker threads
+        FaasPool::new(FaasPoolConfig {
+            cold_start: Duration::from_millis(25),
+            keep_alive: Duration::from_secs(10),
+            timeout: Duration::from_secs(30),
+        }),
+    );
+
+    // Stage the "dataset": one text shard per component.
+    let corpus = "the quick brown fox jumps over the lazy dog ";
+    backend.store().put("initial", corpus.repeat(5000));
+
+    backend.register_fn("count", |ctx| {
+        let text = ctx
+            .inputs
+            .first()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .unwrap_or_default();
+        // Each component counts a different word of the shared shard.
+        let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"];
+        let word = words[ctx.component % words.len()];
+        let n = text.split_whitespace().filter(|w| *w == word).count() as u64;
+        n.to_le_bytes().to_vec()
+    });
+    backend.register_fn("sum", |ctx| {
+        let total: u64 = ctx
+            .inputs
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_ref().try_into().expect("u64 payload")))
+            .sum();
+        total.to_le_bytes().to_vec()
+    });
+
+    // Run it twice: once all on the pool, once hybrid (wide phase spawned
+    // as "functions" with real cold starts).
+    for (label, f) in [
+        (
+            "pool-only  ",
+            Box::new(|_r: mashup::dag::TaskRef| LocalPlacement::Pool)
+                as Box<dyn Fn(mashup::dag::TaskRef) -> LocalPlacement>,
+        ),
+        (
+            "hybrid     ",
+            Box::new(|r: mashup::dag::TaskRef| {
+                if r.phase == 0 {
+                    LocalPlacement::Spawn
+                } else {
+                    LocalPlacement::Pool
+                }
+            }),
+        ),
+    ] {
+        let report = backend.run(&workflow, f);
+        let result = backend.store().must_get("out:sum:0");
+        let total = u64::from_le_bytes(result.as_ref().try_into().expect("u64"));
+        println!(
+            "{label} wall {:>6.1} ms | total word hits {total} | cold starts {}",
+            report.wall_secs * 1000.0,
+            report
+                .tasks
+                .iter()
+                .map(|t| t.cold_starts)
+                .sum::<u64>()
+        );
+    }
+    println!("\nboth placements computed the identical result — the engine's");
+    println!("placement choice changes cost and latency, never the answer.");
+}

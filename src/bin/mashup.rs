@@ -1,0 +1,186 @@
+//! `mashup` — command-line front end for the workflow engine.
+//!
+//! ```text
+//! mashup validate <workflow.json>
+//! mashup dot      <workflow.json>
+//! mashup plan     <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N] [--objective time|expense|both]
+//! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
+//! mashup compare  <workflow...>   [--nodes N]
+//! ```
+//!
+//! Built-in workflow names load the paper's benchmarks; anything else is
+//! treated as a path to a JSON workflow definition (see
+//! `examples/custom_workflow.rs` for the format).
+
+use mashup::prelude::*;
+
+fn load_workflow(spec: &str) -> Workflow {
+    match spec {
+        "1000Genome" => genome1000::workflow(),
+        "SRAsearch" => srasearch::workflow(),
+        "Epigenomics" => epigenomics::workflow(),
+        path => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read '{path}': {e}")));
+            mashup::dag::from_json(&json)
+                .unwrap_or_else(|e| die(&format!("invalid workflow '{path}': {e}")))
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mashup: {msg}");
+    std::process::exit(1)
+}
+
+struct Args {
+    workflow: String,
+    nodes: usize,
+    objective: Objective,
+    strategy: String,
+}
+
+fn parse_args(mut rest: std::env::Args) -> Args {
+    let workflow = rest.next().unwrap_or_else(|| die("missing workflow argument"));
+    let mut args = Args {
+        workflow,
+        nodes: 8,
+        objective: Objective::ExecutionTime,
+        strategy: "mashup".into(),
+    };
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                args.nodes = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--nodes needs a positive integer"));
+            }
+            "--objective" => {
+                args.objective = match rest.next().as_deref() {
+                    Some("time") => Objective::ExecutionTime,
+                    Some("expense") => Objective::Expense,
+                    Some("both") => Objective::Both,
+                    other => die(&format!("unknown objective {other:?}")),
+                };
+            }
+            "--strategy" => {
+                args.strategy = rest
+                    .next()
+                    .unwrap_or_else(|| die("--strategy needs a value"));
+            }
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    args
+}
+
+fn print_report(label: &str, r: &WorkflowReport) {
+    println!(
+        "{:<12} {:>10.1}s   ${:<8.4} (vm ${:.4} + faas ${:.4} + storage ${:.4})",
+        label,
+        r.makespan_secs,
+        r.expense.total(),
+        r.expense.vm_dollars,
+        r.expense.faas_dollars,
+        r.expense.storage_dollars
+    );
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let _bin = argv.next();
+    let Some(cmd) = argv.next() else {
+        die("usage: mashup <validate|dot|plan|run|compare> <workflow> [flags]")
+    };
+    match cmd.as_str() {
+        "validate" => {
+            let spec = argv.next().unwrap_or_else(|| die("missing workflow"));
+            let w = load_workflow(&spec);
+            println!(
+                "'{}' is valid: {} tasks, {} components, {} phases, peak width {}",
+                w.name,
+                w.task_count(),
+                w.component_count(),
+                w.phases.len(),
+                w.max_width()
+            );
+        }
+        "dot" => {
+            let spec = argv.next().unwrap_or_else(|| die("missing workflow"));
+            let w = load_workflow(&spec);
+            print!("{}", mashup::dag::to_dot(&w));
+        }
+        "plan" => {
+            let args = parse_args(argv);
+            let w = load_workflow(&args.workflow);
+            let cfg = MashupConfig::aws(args.nodes);
+            let pdc = Pdc::new(cfg).with_objective(args.objective).decide(&w);
+            println!(
+                "plan for '{}' on {} nodes ({} sub-clusters):",
+                w.name, args.nodes, pdc.subclusters
+            );
+            for d in &pdc.decisions {
+                let reason = d
+                    .forced_vm_reason
+                    .as_deref()
+                    .map(|r| format!("  [{r}]"))
+                    .unwrap_or_default();
+                println!(
+                    "  {:<20} C={:<5} T_vm={:>9.1}s  T_sl≈{:>9.1}s  -> {}{}",
+                    d.name, d.components, d.t_vm_secs, d.t_serverless_est_secs, d.platform, reason
+                );
+            }
+            println!(
+                "profiling cost: ${:.4} (amortized over production runs)",
+                pdc.profiling_expense.total()
+            );
+        }
+        "run" => {
+            let args = parse_args(argv);
+            let w = load_workflow(&args.workflow);
+            let cfg = MashupConfig::aws(args.nodes);
+            let report = match args.strategy.as_str() {
+                "mashup" => Mashup::new(cfg).run(&w).report,
+                "wo-pdc" => Mashup::new(cfg).run_without_pdc(&w),
+                "traditional" => run_traditional_tuned(&cfg, &w),
+                "serverless" => run_serverless_only(&cfg, &w),
+                "pegasus" => run_pegasus(&cfg, &w),
+                "kepler" => run_kepler(&cfg, &w),
+                other => die(&format!("unknown strategy '{other}'")),
+            };
+            print_report(&args.strategy, &report);
+            for t in &report.tasks {
+                println!(
+                    "  {:<20} {:<10} {:>8.1}s  (cold {:>5.1}s, io {:>7.1}s, {} ckpts)",
+                    t.name,
+                    t.platform.to_string(),
+                    t.makespan_secs(),
+                    t.cold_start_secs,
+                    t.io_secs,
+                    t.checkpoints
+                );
+            }
+            println!("\n{}", report.render_gantt(60));
+        }
+        "compare" => {
+            let args = parse_args(argv);
+            let w = load_workflow(&args.workflow);
+            let cfg = MashupConfig::aws(args.nodes);
+            println!("'{}' on {} nodes:", w.name, args.nodes);
+            let traditional = run_traditional_tuned(&cfg, &w);
+            print_report("traditional", &traditional);
+            print_report("serverless", &run_serverless_only(&cfg, &w));
+            print_report("pegasus", &run_pegasus(&cfg, &w));
+            print_report("kepler", &run_kepler(&cfg, &w));
+            let mashup = Mashup::new(cfg).run(&w).report;
+            print_report("mashup", &mashup);
+            println!(
+                "\nmashup vs traditional: {:.1}% time, {:.1}% expense",
+                improvement_pct(mashup.makespan_secs, traditional.makespan_secs),
+                improvement_pct(mashup.expense.total(), traditional.expense.total())
+            );
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}

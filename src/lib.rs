@@ -1,0 +1,49 @@
+//! # mashup
+//!
+//! Facade crate for the Mashup reproduction — *"Mashup: Making Serverless
+//! Computing Useful for HPC Workflows via Hybrid Execution"* (PPoPP '22).
+//!
+//! Re-exports the public API of every workspace crate under one roof:
+//!
+//! * [`dag`] — workflow DAG model (components, tasks, phases, patterns);
+//! * [`workflows`] — the paper's 1000Genome, SRAsearch, and Epigenomics;
+//! * [`cloud`] — simulated VM cluster, FaaS platform, and object store;
+//! * [`engine`] — the Mashup engine: PDC + hybrid executor;
+//! * [`baselines`] — traditional cluster, serverless-only, Pegasus-like,
+//!   Kepler-like;
+//! * [`local`] — the real thread-based execution backend;
+//! * [`sim`] — the discrete-event substrate.
+//!
+//! ```
+//! use mashup::prelude::*;
+//!
+//! let workflow = mashup::workflows::srasearch::workflow();
+//! let outcome = Mashup::new(MashupConfig::aws(4)).run(&workflow);
+//! let baseline = run_traditional(&MashupConfig::aws(4), &workflow);
+//! assert!(outcome.report.makespan_secs < baseline.makespan_secs);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mashup_baselines as baselines;
+pub use mashup_cloud as cloud;
+pub use mashup_core as engine;
+pub use mashup_dag as dag;
+pub use mashup_local as local;
+pub use mashup_sim as sim;
+pub use mashup_workflows as workflows;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use mashup_baselines::{
+        run_kepler, run_pegasus, run_serverless_only, run_traditional, run_traditional_tuned,
+    };
+    pub use mashup_core::{
+        improvement_pct, Mashup, MashupConfig, MashupOutcome, Objective, Pdc, PlacementPlan,
+        Platform, WorkflowReport,
+    };
+    pub use mashup_dag::{
+        DependencyPattern, Task, TaskProfile, TaskRef, Workflow, WorkflowBuilder,
+    };
+    pub use mashup_workflows::{epigenomics, genome1000, srasearch};
+}

@@ -1,0 +1,89 @@
+//! Integration tests of the `mashup` CLI binary.
+
+use std::process::Command;
+
+fn mashup() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mashup"))
+}
+
+#[test]
+fn validate_reports_structure() {
+    let out = mashup()
+        .args(["validate", "SRAsearch"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("5 tasks"));
+    assert!(stdout.contains("404 components"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = mashup()
+        .args(["dot", "1000Genome"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("Individual (1252)"));
+}
+
+#[test]
+fn plan_prints_decisions() {
+    let out = mashup()
+        .args(["plan", "SRAsearch", "--nodes", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FasterQ-Dump"));
+    assert!(stdout.contains("profiling cost"));
+}
+
+#[test]
+fn run_executes_a_strategy() {
+    let out = mashup()
+        .args(["run", "SRAsearch", "--nodes", "4", "--strategy", "traditional"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("traditional"));
+    assert!(stdout.contains("Merge2"));
+}
+
+#[test]
+fn unknown_flags_fail_cleanly() {
+    let out = mashup()
+        .args(["plan", "SRAsearch", "--bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = mashup()
+        .args(["validate", "/nonexistent/wf.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn json_workflow_round_trips_through_the_cli() {
+    let w = mashup::workflows::srasearch::workflow();
+    let path = std::env::temp_dir().join("mashup-cli-test.json");
+    std::fs::write(&path, mashup::dag::to_json(&w)).expect("write temp workflow");
+    let out = mashup()
+        .args(["validate", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("404 components"));
+}

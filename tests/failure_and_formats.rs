@@ -1,0 +1,118 @@
+//! Integration: failure injection through the replicated store, JSON/DOT
+//! format round trips, and the GCP-like provider preset.
+
+use mashup::engine::{execute_in, CloudEnv, MashupConfig, PlacementPlan, Platform};
+use mashup::prelude::*;
+
+#[test]
+fn storage_failures_are_recovered_from_replicas() {
+    // Run a serverless workflow with a high GET failure probability: every
+    // failed read retries from a replica; the run completes, just slower.
+    let w = srasearch::workflow();
+    let mut cfg = MashupConfig::aws(4);
+    cfg.provider.storage.get_failure_prob = 0.2;
+    let mut env = CloudEnv::new(&cfg);
+    let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+    let report = execute_in(&mut env, &cfg, &w, &plan, "faulty");
+    assert!(report.makespan_secs > 0.0);
+    assert!(
+        env.store.injected_failures() > 0,
+        "failure injection should have fired"
+    );
+
+    // The same run without failures is never slower.
+    let mut clean_cfg = MashupConfig::aws(4);
+    clean_cfg.provider.storage.get_failure_prob = 0.0;
+    let clean = mashup::engine::execute(&clean_cfg, &w, &plan, "clean");
+    assert!(clean.makespan_secs <= report.makespan_secs);
+}
+
+#[test]
+fn faas_platform_failures_are_recovered_end_to_end() {
+    // Inject microVM failures on a full workflow: checkpoints plus segment
+    // retries must carry every task to completion.
+    let w = srasearch::workflow();
+    let mut cfg = MashupConfig::aws(4);
+    cfg.provider.faas.failure_prob = 0.15;
+    let mut env = CloudEnv::new(&cfg);
+    let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+    let report = execute_in(&mut env, &cfg, &w, &plan, "flaky-faas");
+    assert_eq!(report.tasks.len(), w.task_count());
+    assert!(env.faas.kills() > 0, "failures should have fired");
+    // A clean run is never slower than the failure-ridden one.
+    let mut clean = MashupConfig::aws(4);
+    clean.provider.faas.failure_prob = 0.0;
+    let baseline = mashup::engine::execute(&clean, &w, &plan, "clean");
+    assert!(baseline.makespan_secs <= report.makespan_secs);
+}
+
+#[test]
+fn paper_workflows_round_trip_through_json() {
+    for w in [
+        genome1000::workflow(),
+        srasearch::workflow(),
+        epigenomics::workflow(),
+    ] {
+        let json = mashup::dag::to_json(&w);
+        let back = mashup::dag::from_json(&json).expect("round trip");
+        assert_eq!(w, back);
+    }
+}
+
+#[test]
+fn dot_export_names_every_task() {
+    let w = epigenomics::workflow();
+    let dot = mashup::dag::to_dot(&w);
+    for r in w.task_refs() {
+        assert!(dot.contains(&w.task(r).name), "missing {}", w.task(r).name);
+    }
+}
+
+#[test]
+fn gcp_like_provider_preserves_the_trends() {
+    // The §5 portability claim: trends survive provider constants changing.
+    let w = srasearch::workflow();
+    let cfg = MashupConfig::gcp(8);
+    let traditional = run_traditional_tuned(&cfg, &w);
+    let outcome = Mashup::new(cfg).run(&w);
+    assert!(outcome.report.makespan_secs < traditional.makespan_secs);
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let w = srasearch::workflow();
+    let outcome = Mashup::new(MashupConfig::aws(4)).run(&w);
+    let json = serde_json::to_string(&outcome).expect("serialize outcome");
+    assert!(json.contains("FasterQ-Dump"));
+    let summary: serde_json::Value = serde_json::from_str(&json).expect("parse");
+    assert!(summary["report"]["makespan_secs"].as_f64().expect("present") > 0.0);
+}
+
+#[test]
+fn synthetic_workflows_run_end_to_end() {
+    // The engine must handle arbitrary valid DAGs, not just the three
+    // paper workflows.
+    for seed in [1u64, 7, 23] {
+        let cfg = SyntheticConfigFixture::small();
+        let w = mashup::workflows::generate(&cfg, seed);
+        let outcome = Mashup::new(MashupConfig::aws(4)).run(&w);
+        assert_eq!(outcome.report.tasks.len(), w.task_count());
+        assert!(outcome.pdc.plan.covers(&w));
+    }
+}
+
+/// Small synthetic config so debug-mode tests stay fast.
+struct SyntheticConfigFixture;
+impl SyntheticConfigFixture {
+    fn small() -> mashup::workflows::SyntheticConfig {
+        mashup::workflows::SyntheticConfig {
+            phases: 3,
+            tasks_per_phase: (1, 2),
+            component_choices: vec![1, 4, 16, 64],
+            compute_secs: (1.0, 30.0),
+            io_bytes: (1.0e6, 1.0e8),
+            slowdown: (0.8, 1.6),
+            recurring_prob: 0.1,
+        }
+    }
+}

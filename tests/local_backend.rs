@@ -1,0 +1,135 @@
+//! Integration: the real thread-based backend executes a DAG correctly
+//! under every placement and agrees with itself.
+
+use mashup::dag::{DependencyPattern, Task, TaskProfile, TaskRef, WorkflowBuilder};
+use mashup::local::{FaasPool, FaasPoolConfig, LocalBackend, LocalPlacement};
+use std::time::Duration;
+
+fn pipeline() -> mashup::dag::Workflow {
+    // shard -> transform (one-to-one) -> reduce (fan-in)
+    let mut b = WorkflowBuilder::new("pipeline");
+    b.begin_phase();
+    let shard = b.add_task(Task::new("shard", 12, TaskProfile::trivial()));
+    b.begin_phase();
+    let square = b.add_task(Task::new("square", 12, TaskProfile::trivial()));
+    b.depend(square, shard, DependencyPattern::OneToOne);
+    b.begin_phase();
+    let reduce = b.add_task(Task::new("reduce", 1, TaskProfile::trivial()));
+    b.depend(reduce, square, DependencyPattern::AllToAll);
+    b.build().expect("valid")
+}
+
+fn backend() -> LocalBackend {
+    let mut be = LocalBackend::new(
+        3,
+        FaasPool::new(FaasPoolConfig {
+            cold_start: Duration::from_millis(3),
+            keep_alive: Duration::from_secs(10),
+            timeout: Duration::from_secs(30),
+        }),
+    );
+    be.register_fn("shard", |ctx| vec![ctx.component as u8 + 1]);
+    be.register_fn("square", |ctx| {
+        let v = ctx.inputs[0][0] as u64;
+        (v * v).to_le_bytes().to_vec()
+    });
+    be.register_fn("reduce", |ctx| {
+        let total: u64 = ctx
+            .inputs
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_ref().try_into().expect("u64")))
+            .sum();
+        total.to_le_bytes().to_vec()
+    });
+    be
+}
+
+fn expected() -> u64 {
+    (1..=12u64).map(|v| v * v).sum()
+}
+
+fn result_of(be: &LocalBackend) -> u64 {
+    u64::from_le_bytes(
+        be.store()
+            .must_get("out:reduce:0")
+            .as_ref()
+            .try_into()
+            .expect("u64"),
+    )
+}
+
+#[test]
+fn all_pool_placement_is_correct() {
+    let be = backend();
+    be.run(&pipeline(), |_| LocalPlacement::Pool);
+    assert_eq!(result_of(&be), expected());
+}
+
+#[test]
+fn all_spawn_placement_is_correct() {
+    let be = backend();
+    let report = be.run(&pipeline(), |_| LocalPlacement::Spawn);
+    assert_eq!(result_of(&be), expected());
+    assert!(report.tasks.iter().any(|t| t.cold_starts > 0));
+}
+
+#[test]
+fn every_hybrid_split_is_correct() {
+    // All 8 phase-level placement combinations agree on the answer.
+    for mask in 0u8..8 {
+        let be = backend();
+        be.run(&pipeline(), move |r: TaskRef| {
+            if mask & (1 << r.phase) != 0 {
+                LocalPlacement::Spawn
+            } else {
+                LocalPlacement::Pool
+            }
+        });
+        assert_eq!(result_of(&be), expected(), "mask {mask}");
+    }
+}
+
+#[test]
+fn one_to_one_wiring_delivers_the_right_producer_bytes() {
+    let mut be = backend();
+    // square receives exactly its own shard's byte.
+    be.register_fn("square", |ctx| {
+        assert_eq!(ctx.inputs.len(), 1, "OneToOne gives exactly one input");
+        let v = ctx.inputs[0][0] as u64;
+        assert_eq!(v, ctx.component as u64 + 1, "wrong producer component");
+        (v * v).to_le_bytes().to_vec()
+    });
+    be.run(&pipeline(), |_| LocalPlacement::Pool);
+    assert_eq!(result_of(&be), expected());
+}
+
+#[test]
+fn warm_reuse_happens_across_phases_with_shared_code_family() {
+    let mut b = WorkflowBuilder::new("family");
+    b.begin_phase();
+    let a = b.add_task(Task::new(
+        "merge1",
+        2,
+        TaskProfile::trivial().family("merge"),
+    ));
+    b.begin_phase();
+    let c = b.add_task(Task::new(
+        "merge2",
+        2,
+        TaskProfile::trivial().family("merge"),
+    ));
+    b.depend(c, a, DependencyPattern::OneToOne);
+    let w = b.build().expect("valid");
+
+    let mut be = backend();
+    be.register_fn("merge1", |_| vec![1]);
+    be.register_fn("merge2", |_| vec![2]);
+    let report = be.run(&w, |_| LocalPlacement::Spawn);
+    // Phase 2's invocations reuse phase 1's warm workers.
+    let m2 = report
+        .tasks
+        .iter()
+        .find(|t| t.name == "merge2")
+        .expect("ran");
+    assert_eq!(m2.cold_starts, 0, "family warm pool should be reused");
+}
