@@ -9,8 +9,8 @@
 //! state-of-the-art managers with. Everything runs on the cluster; no
 //! serverless, no external storage.
 
-use mashup_core::{CloudEnv, MashupConfig, PlacementPlan, Platform, TaskReport, WorkflowReport};
 use mashup_cloud::ClusterTaskSpec;
+use mashup_core::{CloudEnv, MashupConfig, PlacementPlan, Platform, TaskReport, WorkflowReport};
 use mashup_dag::{TaskRef, Workflow};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -169,7 +169,11 @@ mod tests {
         let a = b.add_task(Task::new("fast", 1, TaskProfile::trivial().compute(5.0)));
         b.add_task(Task::new("slow", 1, TaskProfile::trivial().compute(100.0)));
         b.begin_phase();
-        let c = b.add_task(Task::new("after-fast", 1, TaskProfile::trivial().compute(50.0)));
+        let c = b.add_task(Task::new(
+            "after-fast",
+            1,
+            TaskProfile::trivial().compute(50.0),
+        ));
         b.depend(c, a, DependencyPattern::OneToOne);
         b.build().expect("valid")
     }

@@ -50,8 +50,7 @@ pub fn cluster_tasks(workflow: &Workflow, max_parallel: usize) -> Workflow {
                 let mut profile = t.profile.clone();
                 profile.compute_secs_vm *= actual_group;
                 // Shared input read once per job; unique slices still move.
-                profile.input_bytes *=
-                    1.0 + (actual_group - 1.0) * (1.0 - DATA_REUSE_FRACTION);
+                profile.input_bytes *= 1.0 + (actual_group - 1.0) * (1.0 - DATA_REUSE_FRACTION);
                 profile.output_bytes *= actual_group;
                 profile.checkpoint_bytes *= actual_group;
                 Task {
@@ -150,7 +149,10 @@ mod tests {
             256,
             // Contention matters: ungrouped, 64 components timeshare each
             // node and thrash; grouped jobs fit the cores.
-            TaskProfile::trivial().compute(2.0).io(1e6, 1e6).contention(0.15),
+            TaskProfile::trivial()
+                .compute(2.0)
+                .io(1e6, 1e6)
+                .contention(0.15),
         ));
         b.begin_phase();
         let m = b.add_task(Task::new("merge", 1, TaskProfile::trivial().compute(5.0)));
@@ -175,11 +177,7 @@ mod tests {
     fn long_tasks_are_not_grouped() {
         let mut b = WorkflowBuilder::new("w");
         b.begin_phase();
-        b.add_task(Task::new(
-            "long",
-            16,
-            TaskProfile::trivial().compute(300.0),
-        ));
+        b.add_task(Task::new("long", 16, TaskProfile::trivial().compute(300.0)));
         let w = b.build().expect("valid");
         let c = cluster_tasks(&w, 8);
         assert_eq!(c.task(TaskRef::new(0, 0)).components, 16);

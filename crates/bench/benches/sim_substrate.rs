@@ -1,0 +1,83 @@
+//! Substrate micro-benchmarks: the two hot paths every figure funnels
+//! through.
+//!
+//! * `link_contention_1000` — 1000 concurrent flows on one fair-share link
+//!   with per-flow caps and completion churn, modelled on the 1000Genome
+//!   *Individual* task (1252 components hammering the store link).
+//! * `event_queue_cancel_storm` — the cancel/reschedule pattern a link
+//!   replan performs on every transfer arrival/completion, which stresses
+//!   tombstone handling in the event queue.
+//!
+//! Run `BENCH_JSON=results/BENCH_sim.json cargo bench --bench sim_substrate`
+//! to refresh the tracked numbers (see EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mashup_sim::{SharedLink, SimDuration, Simulation};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// 1000 staggered flows with heterogeneous per-flow caps on one link; each
+/// completion triggers a replan of everything still in flight.
+fn link_contention(flows: usize) -> f64 {
+    let mut sim = Simulation::new();
+    let link = SharedLink::new("bench-fabric", 1.0e9);
+    let done = Rc::new(Cell::new(0usize));
+    for i in 0..flows {
+        let link2 = link.clone();
+        let done2 = done.clone();
+        // Arrivals in small same-instant bursts (8 per instant), like a
+        // phase of components starting together.
+        let at = SimDuration::from_secs((i / 8) as f64 * 1.0e-3);
+        sim.schedule_in(at, move |sim| {
+            let bytes = 1.0e6 + (i % 17) as f64 * 3.0e5;
+            // A mix of capped (NIC-bound) and uncapped flows exercises both
+            // sides of the water-filling split.
+            let cap = if i % 3 == 0 { Some(2.0e6) } else { None };
+            link2.start_transfer(sim, bytes, cap, move |_| {
+                done2.set(done2.get() + 1);
+            });
+        });
+    }
+    sim.run();
+    assert_eq!(done.get(), flows);
+    sim.now().as_secs()
+}
+
+/// The replan pattern: schedule a completion, then cancel and reschedule it
+/// repeatedly before letting it fire — one tombstone per iteration in the
+/// old queue.
+fn cancel_storm(events: usize) -> u64 {
+    let mut sim = Simulation::new();
+    let mut handle = None;
+    for i in 0..events {
+        if let Some(h) = handle.take() {
+            sim.cancel(h);
+        }
+        let at = SimDuration::from_secs(1.0 + (i % 97) as f64 * 1.0e-4);
+        handle = Some(sim.schedule_in(at, |_| {}));
+        // is_idle is called by run loops and watchdogs; the old
+        // implementation scanned every tombstone each time.
+        black_box(sim.is_idle());
+    }
+    sim.run();
+    sim.events_processed()
+}
+
+fn bench_link_contention(c: &mut Criterion) {
+    c.bench_function("link_contention_1000", |b| {
+        b.iter(|| black_box(link_contention(1000)))
+    });
+}
+
+fn bench_cancel_storm(c: &mut Criterion) {
+    c.bench_function("event_queue_cancel_storm_50k", |b| {
+        b.iter(|| black_box(cancel_storm(50_000)))
+    });
+}
+
+criterion_group! {
+    name = sim_substrate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_link_contention, bench_cancel_storm
+}
+criterion_main!(sim_substrate);

@@ -48,7 +48,12 @@ fn ablate_pdc() -> Vec<AblationRow> {
         let cfg = MashupConfig::aws(8);
         let with = run_strategy(&cfg, &w, Strategy::Mashup);
         let without = run_strategy(&cfg, &w, Strategy::MashupWithoutPdc);
-        rows.push(row("pdc", &w.name, with.makespan_secs, without.makespan_secs));
+        rows.push(row(
+            "pdc",
+            &w.name,
+            with.makespan_secs,
+            without.makespan_secs,
+        ));
     }
     rows
 }
@@ -147,9 +152,7 @@ fn ablate_warm_family() -> Vec<AblationRow> {
     cfg.prewarm = false; // isolate the family-reuse effect
     let with = execute(&cfg, &shared, &plan_for(&shared), "family-shared");
     let without = execute(&cfg, &split, &plan_for(&split), "family-split");
-    let cold = |r: &mashup_core::WorkflowReport| {
-        r.task("Mapmerge2").expect("ran").n_cold as f64
-    };
+    let cold = |r: &mashup_core::WorkflowReport| r.task("Mapmerge2").expect("ran").n_cold as f64;
     vec![AblationRow {
         mechanism: "code-family warm reuse (Mapmerge2 cold starts)".into(),
         workload: shared.name.clone(),
@@ -180,14 +183,20 @@ fn ablate_subclusters() -> Vec<AblationRow> {
     )]
 }
 
-/// Runs every ablation.
+/// Runs every ablation. Each study is an independent set of simulations,
+/// so they fan out over the sweep workers; row order stays fixed.
 pub fn ablations() -> Ablations {
-    let mut rows = Vec::new();
-    rows.extend(ablate_pdc());
-    rows.extend(ablate_checkpointing());
-    rows.extend(ablate_prewarm());
-    rows.extend(ablate_warm_family());
-    rows.extend(ablate_subclusters());
+    let studies: Vec<fn() -> Vec<AblationRow>> = vec![
+        ablate_pdc,
+        ablate_checkpointing,
+        ablate_prewarm,
+        ablate_warm_family,
+        ablate_subclusters,
+    ];
+    let rows = crate::sweep::par_map(studies, |study| study())
+        .into_iter()
+        .flatten()
+        .collect();
     Ablations { rows }
 }
 
@@ -228,13 +237,20 @@ mod tests {
             );
         }
         // The headline mechanisms deliver real benefits.
-        let pdc = a.rows.iter().find(|r| r.mechanism == "pdc").expect("pdc row");
+        let pdc = a
+            .rows
+            .iter()
+            .find(|r| r.mechanism == "pdc")
+            .expect("pdc row");
         assert!(pdc.improvement_pct >= 0.0);
         let warm = a
             .rows
             .iter()
             .find(|r| r.mechanism.starts_with("code-family"))
             .expect("family row");
-        assert!(warm.with_secs < warm.without_secs, "family reuse cuts cold starts");
+        assert!(
+            warm.with_secs < warm.without_secs,
+            "family reuse cuts cold starts"
+        );
     }
 }

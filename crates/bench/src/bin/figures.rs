@@ -4,7 +4,11 @@
 //! cargo run --release -p mashup-bench --bin figures            # everything
 //! cargo run --release -p mashup-bench --bin figures -- fig6    # one figure
 //! cargo run --release -p mashup-bench --bin figures -- --json results/
+//! cargo run --release -p mashup-bench --bin figures -- --jobs 8
 //! ```
+//!
+//! `--jobs N` sets the scenario-sweep worker count (default: one per core);
+//! output is byte-identical for any N.
 
 use mashup_bench as bench;
 use serde::Serialize;
@@ -31,6 +35,15 @@ fn main() {
     while let Some(a) = it.next() {
         if a == "--json" {
             json_dir = Some(it.next().unwrap_or_else(|| "results".into()));
+        } else if a == "--jobs" {
+            let n = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs requires a number");
+                    std::process::exit(2);
+                });
+            bench::set_jobs(n);
         } else {
             wanted.push(a.to_lowercase());
         }

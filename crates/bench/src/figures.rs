@@ -2,6 +2,7 @@
 //! paper-vs-measured numbers.
 
 use crate::strategies::{run_strategy, Strategy};
+use crate::sweep::par_map;
 use crate::table::{f1, pct, usd, Table};
 use mashup_core::{improvement_pct, Mashup, MashupConfig, Objective, Pdc, Platform};
 use mashup_dag::{Task, TaskProfile, Workflow, WorkflowBuilder};
@@ -113,7 +114,14 @@ pub struct Fig04ab {
 /// Regenerates Fig. 4(a): I/O time share of serverless execution for
 /// Frequency (1000Genome), Map (Epigenomics), and Individual (1000Genome).
 pub fn fig04a_io_overhead() -> Fig04ab {
-    let rows = overhead_rows(&[("1000Genome", "Frequency"), ("Epigenomics", "Map"), ("1000Genome", "Individual")], |t| t.io_fraction());
+    let rows = overhead_rows(
+        &[
+            ("1000Genome", "Frequency"),
+            ("Epigenomics", "Map"),
+            ("1000Genome", "Individual"),
+        ],
+        |t| t.io_fraction(),
+    );
     Fig04ab {
         metric: "io".into(),
         rows,
@@ -124,7 +132,11 @@ pub fn fig04a_io_overhead() -> Fig04ab {
 /// (Epigenomics), and Chr21 (Epigenomics).
 pub fn fig04b_cold_start() -> Fig04ab {
     let rows = overhead_rows(
-        &[("SRAsearch", "Bowtie2"), ("Epigenomics", "Map"), ("Epigenomics", "Chr21")],
+        &[
+            ("SRAsearch", "Bowtie2"),
+            ("Epigenomics", "Map"),
+            ("Epigenomics", "Chr21"),
+        ],
         |t| t.cold_start_fraction(),
     );
     Fig04ab {
@@ -196,13 +208,24 @@ pub fn fig04c_scaling() -> Fig04c {
         vec![
             (
                 "Individual".into(),
-                g.task_by_name("Individual").expect("exists").1.profile.clone(),
+                g.task_by_name("Individual")
+                    .expect("exists")
+                    .1
+                    .profile
+                    .clone(),
             ),
             (
                 "Frequency".into(),
-                g.task_by_name("Frequency").expect("exists").1.profile.clone(),
+                g.task_by_name("Frequency")
+                    .expect("exists")
+                    .1
+                    .profile
+                    .clone(),
             ),
-            ("Map".into(), e.task_by_name("Map").expect("exists").1.profile.clone()),
+            (
+                "Map".into(),
+                e.task_by_name("Map").expect("exists").1.profile.clone(),
+            ),
         ]
     };
     let mut series = Vec::new();
@@ -268,17 +291,21 @@ pub struct Fig05 {
 pub fn fig05_objectives() -> Fig05 {
     let w = srasearch::workflow();
     let cfg = MashupConfig::aws(DEFAULT_NODES);
-    let outcomes: Vec<(String, f64, f64)> = [
-        ("time", Objective::ExecutionTime),
-        ("expense", Objective::Expense),
-        ("both", Objective::Both),
-    ]
-    .into_iter()
-    .map(|(label, obj)| {
-        let o = Mashup::new(cfg.clone()).with_objective(obj).run(&w);
-        (label.to_string(), o.report.makespan_secs, o.report.expense.total())
-    })
-    .collect();
+    let outcomes: Vec<(String, f64, f64)> = par_map(
+        vec![
+            ("time", Objective::ExecutionTime),
+            ("expense", Objective::Expense),
+            ("both", Objective::Both),
+        ],
+        |(label, obj)| {
+            let o = Mashup::new(cfg.clone()).with_objective(obj).run(&w);
+            (
+                label.to_string(),
+                o.report.makespan_secs,
+                o.report.expense.total(),
+            )
+        },
+    );
     let max_t = outcomes.iter().map(|o| o.1).fold(0.0, f64::max).max(1e-12);
     let max_e = outcomes.iter().map(|o| o.2).fold(0.0, f64::max).max(1e-12);
     Fig05 {
@@ -298,7 +325,11 @@ impl Fig05 {
     pub fn render(&self) -> String {
         let mut t = Table::new(&["objective", "exec time (% max)", "expense (% max)"]);
         for r in &self.rows {
-            t.row(vec![r.objective.clone(), pct(r.time_pct), pct(r.expense_pct)]);
+            t.row(vec![
+                r.objective.clone(),
+                pct(r.time_pct),
+                pct(r.expense_pct),
+            ]);
         }
         t.render()
     }
@@ -337,19 +368,32 @@ pub fn fig07_expense() -> SweepResult {
 
 fn sweep(
     metric: &str,
-    score: impl Fn(&mashup_core::WorkflowReport, &mashup_core::WorkflowReport) -> f64,
+    score: impl Fn(&mashup_core::WorkflowReport, &mashup_core::WorkflowReport) -> f64 + Sync,
 ) -> SweepResult {
-    let mut series = Vec::new();
-    for w in paper_workflows() {
-        let mut points = Vec::new();
-        for &n in &CLUSTER_SIZES {
-            let cfg = MashupConfig::aws(n);
-            let base = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
-            let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
-            points.push(score(&mashup, &base));
-        }
-        series.push((w.name.clone(), points));
-    }
+    // Every (workflow, size) cell is an independent pair of simulations;
+    // fan the whole grid out and regroup in order afterwards.
+    let workflows = paper_workflows();
+    let cells: Vec<(usize, usize)> = (0..workflows.len())
+        .flat_map(|wi| (0..CLUSTER_SIZES.len()).map(move |si| (wi, si)))
+        .collect();
+    let points = par_map(cells, |(wi, si)| {
+        let w = &workflows[wi];
+        let cfg = MashupConfig::aws(CLUSTER_SIZES[si]);
+        let base = run_strategy(&cfg, w, Strategy::TraditionalTuned);
+        let mashup = run_strategy(&cfg, w, Strategy::Mashup);
+        score(&mashup, &base)
+    });
+    let series = workflows
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let start = wi * CLUSTER_SIZES.len();
+            (
+                w.name.clone(),
+                points[start..start + CLUSTER_SIZES.len()].to_vec(),
+            )
+        })
+        .collect();
     SweepResult {
         metric: metric.into(),
         sizes: CLUSTER_SIZES.to_vec(),
@@ -415,25 +459,28 @@ pub struct Fig08 {
 /// Regenerates Fig. 8: Mashup with the cheap (m5-like) and expensive
 /// (r5b-like) VM families on a 48-node cluster.
 pub fn fig08_vm_families() -> Fig08 {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for w in [genome1000::workflow(), srasearch::workflow()] {
         for (family, cfg) in [
             ("cheap (m5)", MashupConfig::aws_cheap(DEFAULT_NODES)),
-            ("expensive (r5b)", MashupConfig::aws_expensive(DEFAULT_NODES)),
+            (
+                "expensive (r5b)",
+                MashupConfig::aws_expensive(DEFAULT_NODES),
+            ),
         ] {
-            let base = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
-            let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
-            rows.push(Fig08Row {
-                workflow: w.name.clone(),
-                family: family.into(),
-                time_improvement_pct: improvement_pct(mashup.makespan_secs, base.makespan_secs),
-                expense_improvement_pct: improvement_pct(
-                    mashup.expense.total(),
-                    base.expense.total(),
-                ),
-            });
+            cells.push((w.clone(), family, cfg));
         }
     }
+    let rows = par_map(cells, |(w, family, cfg)| {
+        let base = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
+        let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
+        Fig08Row {
+            workflow: w.name.clone(),
+            family: family.into(),
+            time_improvement_pct: improvement_pct(mashup.makespan_secs, base.makespan_secs),
+            expense_improvement_pct: improvement_pct(mashup.expense.total(), base.expense.total()),
+        }
+    });
     Fig08 { rows }
 }
 
@@ -479,34 +526,50 @@ pub struct Fig09 {
 /// Regenerates Fig. 9: the placement each strategy chooses for every task —
 /// the w/o-PDC row plus the PDC's choice at each cluster size.
 pub fn fig09_placement() -> Fig09 {
-    let mut workflows = Vec::new();
-    for w in paper_workflows() {
-        let tasks: Vec<String> = w.task_refs().map(|r| w.task(r).name.clone()).collect();
-        let mut rows = Vec::new();
-        // w/o PDC at the default size.
-        let cfg = MashupConfig::aws(DEFAULT_NODES);
-        let naive = mashup_core::plan_without_pdc(&cfg, &w);
-        rows.push((
-            "w/o PDC".to_string(),
-            w.task_refs()
-                .map(|r| naive.platform(r) == Platform::Serverless)
-                .collect(),
-        ));
-        for &n in &CLUSTER_SIZES {
-            let pdc = Pdc::new(MashupConfig::aws(n)).decide(&w);
-            rows.push((
-                format!("{n} nodes"),
-                w.task_refs()
-                    .map(|r| pdc.plan.platform(r) == Platform::Serverless)
-                    .collect(),
-            ));
+    let wfs = paper_workflows();
+    // One work item per map row: the w/o-PDC plan or one PDC decision.
+    let items: Vec<(usize, Option<usize>)> = (0..wfs.len())
+        .flat_map(|wi| {
+            std::iter::once((wi, None))
+                .chain((0..CLUSTER_SIZES.len()).map(move |si| (wi, Some(si))))
+        })
+        .collect();
+    let rows_flat: Vec<(String, Vec<bool>)> = par_map(items, |(wi, si)| {
+        let w = &wfs[wi];
+        match si {
+            None => {
+                // w/o PDC at the default size.
+                let cfg = MashupConfig::aws(DEFAULT_NODES);
+                let naive = mashup_core::plan_without_pdc(&cfg, w);
+                (
+                    "w/o PDC".to_string(),
+                    w.task_refs()
+                        .map(|r| naive.platform(r) == Platform::Serverless)
+                        .collect(),
+                )
+            }
+            Some(si) => {
+                let n = CLUSTER_SIZES[si];
+                let pdc = Pdc::new(MashupConfig::aws(n)).decide(w);
+                (
+                    format!("{n} nodes"),
+                    w.task_refs()
+                        .map(|r| pdc.plan.platform(r) == Platform::Serverless)
+                        .collect(),
+                )
+            }
         }
-        workflows.push(Fig09Workflow {
+    });
+    let rows_per_wf = 1 + CLUSTER_SIZES.len();
+    let workflows = wfs
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| Fig09Workflow {
             workflow: w.name.clone(),
-            tasks,
-            rows,
-        });
-    }
+            tasks: w.task_refs().map(|r| w.task(r).name.clone()).collect(),
+            rows: rows_flat[wi * rows_per_wf..(wi + 1) * rows_per_wf].to_vec(),
+        })
+        .collect();
     Fig09 { workflows }
 }
 
@@ -670,14 +733,25 @@ pub struct Fig11 {
 /// 16-node cluster — the mid-size regime where the hybrid's
 /// best-of-both-worlds effect is clearest on our substrate.
 pub fn fig11_pareto() -> Fig11 {
+    let wfs = paper_workflows();
+    const STRATS: [(&str, Strategy); 3] = [
+        ("serverless", Strategy::ServerlessOnly),
+        ("vm-cluster", Strategy::TraditionalTuned),
+        ("mashup", Strategy::Mashup),
+    ];
+    let cells: Vec<(usize, usize)> = (0..wfs.len())
+        .flat_map(|wi| (0..STRATS.len()).map(move |si| (wi, si)))
+        .collect();
+    let reports = par_map(cells, |(wi, si)| {
+        run_strategy(&MashupConfig::aws(16), &wfs[wi], STRATS[si].1)
+    });
     let mut points = Vec::new();
-    for w in paper_workflows() {
-        let cfg = MashupConfig::aws(16);
-        let entries = [
-            ("serverless", run_strategy(&cfg, &w, Strategy::ServerlessOnly)),
-            ("vm-cluster", run_strategy(&cfg, &w, Strategy::TraditionalTuned)),
-            ("mashup", run_strategy(&cfg, &w, Strategy::Mashup)),
-        ];
+    for (wi, w) in wfs.iter().enumerate() {
+        let entries: Vec<_> = STRATS
+            .iter()
+            .enumerate()
+            .map(|(si, &(label, _))| (label, &reports[wi * STRATS.len() + si]))
+            .collect();
         let max_t = entries
             .iter()
             .map(|(_, r)| r.makespan_secs)
@@ -748,16 +822,28 @@ pub struct Fig12 {
 /// Regenerates Fig. 12: Kepler-like, Pegasus-like, and Mashup on a 48-node
 /// cluster, as improvement over the plain traditional execution.
 pub fn fig12_managers() -> Fig12 {
+    let wfs = paper_workflows();
+    const STRATS: [Strategy; 4] = [
+        Strategy::Traditional,
+        Strategy::Kepler,
+        Strategy::Pegasus,
+        Strategy::Mashup,
+    ];
+    let cells: Vec<(usize, usize)> = (0..wfs.len())
+        .flat_map(|wi| (0..STRATS.len()).map(move |si| (wi, si)))
+        .collect();
+    let reports = par_map(cells, |(wi, si)| {
+        run_strategy(&MashupConfig::aws(DEFAULT_NODES), &wfs[wi], STRATS[si])
+    });
     let mut rows = Vec::new();
     let mut time_over = Vec::new();
     let mut cost_over = Vec::new();
-    for w in paper_workflows() {
-        let cfg = MashupConfig::aws(DEFAULT_NODES);
-        let base = run_strategy(&cfg, &w, Strategy::Traditional);
-        let kepler = run_strategy(&cfg, &w, Strategy::Kepler);
-        let pegasus = run_strategy(&cfg, &w, Strategy::Pegasus);
-        let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
-        for (engine, r) in [("kepler", &kepler), ("pegasus", &pegasus), ("mashup", &mashup)] {
+    for (wi, w) in wfs.iter().enumerate() {
+        let base = &reports[wi * STRATS.len()];
+        let kepler = &reports[wi * STRATS.len() + 1];
+        let pegasus = &reports[wi * STRATS.len() + 2];
+        let mashup = &reports[wi * STRATS.len() + 3];
+        for (engine, r) in [("kepler", kepler), ("pegasus", pegasus), ("mashup", mashup)] {
             rows.push(Fig12Row {
                 workflow: w.name.clone(),
                 engine: engine.into(),
@@ -815,20 +901,17 @@ pub struct TextInputSizes {
 /// Regenerates the §5 input-size study: SRAsearch at four representative
 /// input scales (~5–8.4 TB).
 pub fn text_input_sizes() -> TextInputSizes {
-    let rows = mashup_workflows::INPUT_SCALES
-        .iter()
-        .map(|&scale| {
-            let w = srasearch::workflow_scaled(scale);
-            let cfg = MashupConfig::aws(DEFAULT_NODES);
-            let base = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
-            let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
-            (
-                scale,
-                improvement_pct(mashup.makespan_secs, base.makespan_secs),
-                improvement_pct(mashup.expense.total(), base.expense.total()),
-            )
-        })
-        .collect();
+    let rows = par_map(mashup_workflows::INPUT_SCALES.to_vec(), |scale| {
+        let w = srasearch::workflow_scaled(scale);
+        let cfg = MashupConfig::aws(DEFAULT_NODES);
+        let base = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
+        let mashup = run_strategy(&cfg, &w, Strategy::Mashup);
+        (
+            scale,
+            improvement_pct(mashup.makespan_secs, base.makespan_secs),
+            improvement_pct(mashup.expense.total(), base.expense.total()),
+        )
+    });
     TextInputSizes { rows }
 }
 
@@ -1050,9 +1133,8 @@ pub fn text_pdc_accuracy() -> TextPdcAccuracy {
             }
             let (_, task) = w.task_by_name(&d.name).expect("exists");
             let actual = isolated_serverless_secs(task, &cfg);
-            let accuracy = (1.0
-                - (d.t_serverless_est_secs - actual).abs() / actual.max(1e-12))
-            .max(0.0)
+            let accuracy = (1.0 - (d.t_serverless_est_secs - actual).abs() / actual.max(1e-12))
+                .max(0.0)
                 * 100.0;
             rows.push((
                 w.name.clone(),

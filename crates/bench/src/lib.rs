@@ -17,8 +17,10 @@
 pub mod ablations;
 pub mod figures;
 pub mod strategies;
+pub mod sweep;
 pub mod table;
 
 pub use ablations::{ablations, AblationRow, Ablations};
 pub use figures::*;
 pub use strategies::{run_strategy, Strategy};
+pub use sweep::{jobs, par_map, set_jobs};

@@ -24,6 +24,9 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Completion callback handed to [`VmCluster::run_task`].
+type ClusterDoneFn = Box<dyn FnOnce(&mut Simulation, ClusterRunStats)>;
+
 /// Cluster shape and billing parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -338,7 +341,7 @@ impl VmCluster {
             io_secs: f64,
             compute_secs: f64,
             start: SimTime,
-            done: Option<Box<dyn FnOnce(&mut Simulation, ClusterRunStats)>>,
+            done: Option<ClusterDoneFn>,
         }
         let accum = Rc::new(RefCell::new(Accum {
             remaining: spec.components,
@@ -386,13 +389,11 @@ impl VmCluster {
                         cluster.cfg.instance.memory_gb,
                         spec.contention_coeff,
                     );
-                    let secs =
-                        spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
+                    let secs = spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
                     let dur = SimDuration::from_secs(secs);
                     accum.borrow_mut().compute_secs += secs;
                     sim.schedule_in(dur, move |sim| {
-                        cluster.subs[spec.subcluster].node_loads.borrow_mut()
-                            [node_idx] -= 1;
+                        cluster.subs[spec.subcluster].node_loads.borrow_mut()[node_idx] -= 1;
                         // --- output ---
                         let write_begin = sim.now();
                         let finish = {

@@ -52,8 +52,7 @@ impl CostMeter {
     /// Charges `node_seconds` of VM time at `price_per_hour`.
     pub fn charge_vm(&self, node_seconds: f64, price_per_hour: f64) {
         debug_assert!(node_seconds >= 0.0);
-        self.inner.borrow_mut().vm_node_seconds_dollars +=
-            node_seconds / 3600.0 * price_per_hour;
+        self.inner.borrow_mut().vm_node_seconds_dollars += node_seconds / 3600.0 * price_per_hour;
     }
 
     /// Charges `function_seconds` of serverless time at `price_per_hour`.

@@ -16,6 +16,9 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Completion callback fired once the last component chain finishes.
+type FaasDoneFn = Box<dyn FnOnce(&mut Simulation, FaasRunStats)>;
+
 /// Work description for running one task's components on FaaS.
 #[derive(Debug, Clone)]
 pub struct FaasTaskSpec {
@@ -109,7 +112,7 @@ struct Accum {
     remaining: usize,
     first_start_seen: bool,
     stats: FaasRunStats,
-    done: Option<Box<dyn FnOnce(&mut Simulation, FaasRunStats)>>,
+    done: Option<FaasDoneFn>,
 }
 
 #[derive(Clone)]
@@ -147,8 +150,7 @@ pub fn run_task_on_faas(
     // A checkpoint written after the margin point must land before the
     // deadline, or the watchdog kills the function mid-checkpoint.
     assert!(
-        spec.checkpoint_bytes / platform.config().per_function_bps
-            <= spec.checkpoint_margin_secs,
+        spec.checkpoint_bytes / platform.config().per_function_bps <= spec.checkpoint_margin_secs,
         "task '{}': checkpoint of {} bytes cannot be written within the \
          {}-second margin at {} B/s — widen the margin",
         spec.label,
@@ -186,8 +188,7 @@ pub fn run_task_on_faas(
     let components = ctx.spec.components;
     for _comp in 0..components {
         let jf = jitter_factor(&mut rng, ctx.spec.jitter);
-        let total_compute =
-            ctx.spec.compute_secs / ctx.platform.config().core_speed * jf;
+        let total_compute = ctx.spec.compute_secs / ctx.platform.config().core_speed * jf;
         let work = Work {
             read: ctx.spec.input_bytes,
             needs_ckpt_read: false,
@@ -248,22 +249,23 @@ fn run_segment(sim: &mut Simulation, ctx: Ctx, work: Work) {
             let cap = ctx.platform.config().per_function_bps;
             let requests = ctx.spec.io_requests;
             let ctx3 = ctx.clone();
-            ctx.store.read(sim, ckpt, requests, Some(cap), move |sim, dur| {
-                {
-                    let mut a = ctx3.accum.borrow_mut();
-                    a.stats.io_secs += dur.as_secs();
-                    a.stats.bytes_read += ckpt;
-                }
-                read_phase(
-                    sim,
-                    ctx3,
-                    inv,
-                    Work {
-                        needs_ckpt_read: false,
-                        ..work
-                    },
-                );
-            });
+            ctx.store
+                .read(sim, ckpt, requests, Some(cap), move |sim, dur| {
+                    {
+                        let mut a = ctx3.accum.borrow_mut();
+                        a.stats.io_secs += dur.as_secs();
+                        a.stats.bytes_read += ckpt;
+                    }
+                    read_phase(
+                        sim,
+                        ctx3,
+                        inv,
+                        Work {
+                            needs_ckpt_read: false,
+                            ..work
+                        },
+                    );
+                });
         } else {
             read_phase(sim, ctx, inv, work);
         }
@@ -284,9 +286,7 @@ fn read_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, work
         return;
     }
     let cap = ctx.platform.config().per_function_bps;
-    let budget_secs = window_end(&ctx, &inv)
-        .saturating_since(sim.now())
-        .as_secs();
+    let budget_secs = window_end(&ctx, &inv).saturating_since(sim.now()).as_secs();
     let chunk = work.read.min(budget_secs * cap);
     assert!(
         chunk > 0.0,
@@ -295,42 +295,43 @@ fn read_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, work
     );
     let requests = ctx.spec.io_requests;
     let ctx2 = ctx.clone();
-    ctx.store.read(sim, chunk, requests, Some(cap), move |sim, dur| {
-        let ctx = ctx2;
-        {
-            let mut a = ctx.accum.borrow_mut();
-            a.stats.io_secs += dur.as_secs();
-            a.stats.bytes_read += chunk;
-        }
-        if work.read - chunk > 1e-6 {
-            // More input than this window could take: hand the remainder to
-            // a fresh invocation (multipart continuation).
-            let alive = ctx.platform.complete(sim, inv.id);
-            let read_left = if alive { work.read - chunk } else { work.read };
-            run_segment(
-                sim,
-                ctx,
-                Work {
-                    read: read_left,
-                    first_segment: false,
-                    ..work
-                },
-            );
-        } else if ctx.platform.is_active(inv.id) {
-            compute_phase(sim, ctx, inv, Work { read: 0.0, ..work });
-        } else {
-            // Contention stretched the read past the deadline and the
-            // watchdog killed the function: redo this chunk fresh.
-            run_segment(
-                sim,
-                ctx,
-                Work {
-                    first_segment: false,
-                    ..work
-                },
-            );
-        }
-    });
+    ctx.store
+        .read(sim, chunk, requests, Some(cap), move |sim, dur| {
+            let ctx = ctx2;
+            {
+                let mut a = ctx.accum.borrow_mut();
+                a.stats.io_secs += dur.as_secs();
+                a.stats.bytes_read += chunk;
+            }
+            if work.read - chunk > 1e-6 {
+                // More input than this window could take: hand the remainder to
+                // a fresh invocation (multipart continuation).
+                let alive = ctx.platform.complete(sim, inv.id);
+                let read_left = if alive { work.read - chunk } else { work.read };
+                run_segment(
+                    sim,
+                    ctx,
+                    Work {
+                        read: read_left,
+                        first_segment: false,
+                        ..work
+                    },
+                );
+            } else if ctx.platform.is_active(inv.id) {
+                compute_phase(sim, ctx, inv, Work { read: 0.0, ..work });
+            } else {
+                // Contention stretched the read past the deadline and the
+                // watchdog killed the function: redo this chunk fresh.
+                run_segment(
+                    sim,
+                    ctx,
+                    Work {
+                        first_segment: false,
+                        ..work
+                    },
+                );
+            }
+        });
 }
 
 /// Computes until done or until the checkpoint point, checkpointing and
@@ -340,9 +341,7 @@ fn compute_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, w
         write_phase(sim, ctx, inv, work);
         return;
     }
-    let budget = window_end(&ctx, &inv)
-        .saturating_since(sim.now())
-        .as_secs();
+    let budget = window_end(&ctx, &inv).saturating_since(sim.now()).as_secs();
     let (compute_now, leftover) = if work.compute <= budget {
         (work.compute, 0.0)
     } else {
@@ -375,39 +374,48 @@ fn compute_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, w
             let requests = ctx.spec.io_requests;
             let ctx3 = ctx.clone();
             let segment_compute = work.compute;
-            ctx.store.write(sim, ckpt, requests, Some(cap), move |sim, _| {
-                {
-                    let mut a = ctx3.accum.borrow_mut();
-                    a.stats.io_secs += sim.now().since(write_begin).as_secs();
-                    a.stats.bytes_written += ckpt;
-                }
-                let alive = ctx3.platform.complete(sim, inv.id);
-                let next = if alive {
-                    ctx3.accum.borrow_mut().stats.checkpoints += 1;
-                    Work {
-                        read: 0.0,
-                        needs_ckpt_read: true,
-                        compute: leftover,
-                        first_segment: false,
-                        ..work
+            ctx.store
+                .write(sim, ckpt, requests, Some(cap), move |sim, _| {
+                    {
+                        let mut a = ctx3.accum.borrow_mut();
+                        a.stats.io_secs += sim.now().since(write_begin).as_secs();
+                        a.stats.bytes_written += ckpt;
                     }
-                } else {
-                    // Killed mid-checkpoint: the state never persisted;
-                    // redo this segment's compute from the last good
-                    // checkpoint (if any).
-                    let had_ckpt = ctx3.accum.borrow().stats.checkpoints > 0;
-                    Work {
-                        read: 0.0,
-                        needs_ckpt_read: had_ckpt,
-                        compute: segment_compute,
-                        first_segment: false,
-                        ..work
-                    }
-                };
-                run_segment(sim, ctx3, next);
-            });
+                    let alive = ctx3.platform.complete(sim, inv.id);
+                    let next = if alive {
+                        ctx3.accum.borrow_mut().stats.checkpoints += 1;
+                        Work {
+                            read: 0.0,
+                            needs_ckpt_read: true,
+                            compute: leftover,
+                            first_segment: false,
+                            ..work
+                        }
+                    } else {
+                        // Killed mid-checkpoint: the state never persisted;
+                        // redo this segment's compute from the last good
+                        // checkpoint (if any).
+                        let had_ckpt = ctx3.accum.borrow().stats.checkpoints > 0;
+                        Work {
+                            read: 0.0,
+                            needs_ckpt_read: had_ckpt,
+                            compute: segment_compute,
+                            first_segment: false,
+                            ..work
+                        }
+                    };
+                    run_segment(sim, ctx3, next);
+                });
         } else {
-            write_phase(sim, ctx, inv, Work { compute: 0.0, ..work });
+            write_phase(
+                sim,
+                ctx,
+                inv,
+                Work {
+                    compute: 0.0,
+                    ..work
+                },
+            );
         }
     });
 }
@@ -422,9 +430,7 @@ fn write_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, wor
         finish_component(sim, ctx);
         return;
     }
-    let budget_secs = window_end(&ctx, &inv)
-        .saturating_since(sim.now())
-        .as_secs();
+    let budget_secs = window_end(&ctx, &inv).saturating_since(sim.now()).as_secs();
     let chunk = work.write.min(budget_secs * cap);
     if chunk <= 0.0 {
         // Window exhausted before any bytes could move: fresh invocation.
@@ -442,30 +448,35 @@ fn write_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, wor
     let write_begin = sim.now();
     let requests = ctx.spec.io_requests;
     let ctx2 = ctx.clone();
-    ctx.store.write(sim, chunk, requests, Some(cap), move |sim, _| {
-        let ctx = ctx2;
-        {
-            let mut a = ctx.accum.borrow_mut();
-            a.stats.io_secs += sim.now().since(write_begin).as_secs();
-            a.stats.bytes_written += chunk;
-        }
-        let alive = ctx.platform.complete(sim, inv.id);
-        // A killed function's part upload never lands; redo the chunk.
-        let rest = if alive { work.write - chunk } else { work.write };
-        if rest > 1e-6 {
-            run_segment(
-                sim,
-                ctx,
-                Work {
-                    write: rest,
-                    first_segment: false,
-                    ..work
-                },
-            );
-        } else {
-            finish_component(sim, ctx);
-        }
-    });
+    ctx.store
+        .write(sim, chunk, requests, Some(cap), move |sim, _| {
+            let ctx = ctx2;
+            {
+                let mut a = ctx.accum.borrow_mut();
+                a.stats.io_secs += sim.now().since(write_begin).as_secs();
+                a.stats.bytes_written += chunk;
+            }
+            let alive = ctx.platform.complete(sim, inv.id);
+            // A killed function's part upload never lands; redo the chunk.
+            let rest = if alive {
+                work.write - chunk
+            } else {
+                work.write
+            };
+            if rest > 1e-6 {
+                run_segment(
+                    sim,
+                    ctx,
+                    Work {
+                        write: rest,
+                        first_segment: false,
+                        ..work
+                    },
+                );
+            } else {
+                finish_component(sim, ctx);
+            }
+        });
 }
 
 /// Marks one component done, firing the task callback after the last one.
@@ -522,7 +533,10 @@ mod tests {
         spec.output_bytes = 5e7;
         let stats = run(&p, &s, spec);
         // 1 s cold + 1 s read + 10 s compute + 1 s write = 13 s.
-        assert!((stats.makespan().as_secs() - 13.0).abs() < 1e-6, "{stats:?}");
+        assert!(
+            (stats.makespan().as_secs() - 13.0).abs() < 1e-6,
+            "{stats:?}"
+        );
         assert_eq!(stats.n_cold, 1);
         assert_eq!(stats.checkpoints, 0);
         assert!((stats.io_secs - 2.0).abs() < 1e-6);
@@ -639,7 +653,10 @@ mod tests {
         spec.output_bytes = 5.0e10;
         let stats = run(&p, &s, spec);
         assert!((stats.bytes_written - 5.0e10).abs() < 1.0, "{stats:?}");
-        assert!(stats.n_cold + stats.n_warm >= 2, "needs at least two invocations");
+        assert!(
+            stats.n_cold + stats.n_warm >= 2,
+            "needs at least two invocations"
+        );
         assert_eq!(p.kills(), 0, "chunking must avoid the watchdog");
     }
 

@@ -21,6 +21,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Callback fired when the platform kills an invocation at its deadline.
+pub type KillFn = Box<dyn FnOnce(&mut Simulation)>;
+
 /// Identifier of a live invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InvocationId(u64);
@@ -44,7 +47,7 @@ struct ActiveInv {
     ready_at: SimTime,
     start_latency: f64,
     code_key: String,
-    on_killed: Option<Box<dyn FnOnce(&mut Simulation)>>,
+    on_killed: Option<KillFn>,
 }
 
 struct FaasState {
@@ -148,8 +151,7 @@ impl FaasPlatform {
     fn scheduler_delay(&self, now: SimTime) -> SimDuration {
         let mut s = self.state.borrow_mut();
         let elapsed = now.saturating_since(s.last_refill).as_secs();
-        s.tokens = (s.tokens + elapsed * self.cfg.ramp_per_sec)
-            .min(self.cfg.burst_capacity as f64);
+        s.tokens = (s.tokens + elapsed * self.cfg.ramp_per_sec).min(self.cfg.burst_capacity as f64);
         s.last_refill = now;
         s.tokens -= 1.0;
         if s.tokens >= 0.0 {
@@ -188,7 +190,7 @@ impl FaasPlatform {
         &self,
         sim: &mut Simulation,
         code_key: impl Into<String>,
-        on_killed: Option<Box<dyn FnOnce(&mut Simulation)>>,
+        on_killed: Option<KillFn>,
         on_ready: impl FnOnce(&mut Simulation, Invocation) + 'static,
     ) {
         let code_key = code_key.into();
@@ -241,8 +243,7 @@ impl FaasPlatform {
                 && platform.rng.borrow_mut().gen::<f64>() < platform.cfg.failure_prob
             {
                 let frac: f64 = platform.rng.borrow_mut().gen();
-                let kill_at =
-                    ready_at + SimDuration::from_secs(platform.cfg.timeout_secs * frac);
+                let kill_at = ready_at + SimDuration::from_secs(platform.cfg.timeout_secs * frac);
                 let p3 = platform.clone();
                 sim.schedule_at(kill_at, move |sim| p3.kill_invocation(sim, id));
             }
@@ -258,8 +259,7 @@ impl FaasPlatform {
             s.active.remove(&id)
         };
         if let Some(inv) = killed {
-            let billed =
-                inv.start_latency + sim.now().saturating_since(inv.ready_at).as_secs();
+            let billed = inv.start_latency + sim.now().saturating_since(inv.ready_at).as_secs();
             {
                 let mut s = self.state.borrow_mut();
                 s.kills += 1;
@@ -290,7 +290,9 @@ impl FaasPlatform {
             return false; // killed at the deadline before completion
         };
         debug_assert!(
-            now <= inv.ready_at + SimDuration::from_secs(self.cfg.timeout_secs) + SimDuration::from_secs(1e-9),
+            now <= inv.ready_at
+                + SimDuration::from_secs(self.cfg.timeout_secs)
+                + SimDuration::from_secs(1e-9),
             "watchdog should have fired before a post-deadline completion"
         );
         let billed = inv.start_latency + now.saturating_since(inv.ready_at).as_secs();
@@ -314,8 +316,7 @@ impl FaasPlatform {
     pub fn prewarm(&self, sim: &mut Simulation, code_key: impl Into<String>, count: usize) {
         let code_key = code_key.into();
         for i in 0..count {
-            let sched_delay =
-                SimDuration::from_secs(i as f64 / self.cfg.ramp_per_sec);
+            let sched_delay = SimDuration::from_secs(i as f64 / self.cfg.ramp_per_sec);
             let platform = self.clone();
             let key = code_key.clone();
             sim.schedule_in(sched_delay, move |sim| {
@@ -331,8 +332,7 @@ impl FaasPlatform {
                 }
                 let p2 = platform.clone();
                 sim.schedule_at(warm_at, move |sim| {
-                    let expiry =
-                        sim.now() + SimDuration::from_secs(p2.cfg.keep_alive_secs);
+                    let expiry = sim.now() + SimDuration::from_secs(p2.cfg.keep_alive_secs);
                     p2.state
                         .borrow_mut()
                         .warm_pool

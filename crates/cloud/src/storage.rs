@@ -129,10 +129,8 @@ impl ObjectStore {
             let mut s = self.state.borrow_mut();
             s.writes += requests;
         }
-        self.meter.charge_storage_requests(
-            requests * self.cfg.replicas as u64,
-            self.cfg.price_per_put,
-        );
+        self.meter
+            .charge_storage_requests(requests * self.cfg.replicas as u64, self.cfg.price_per_put);
         let link = self.link.clone();
         let latency = SimDuration::from_secs(self.cfg.request_latency_secs);
         sim.schedule_in(latency, move |sim| {

@@ -95,7 +95,10 @@ mod tests {
         let merge = b.add_task(Task::new(
             "merge",
             1,
-            TaskProfile::trivial().compute(60.0).slowdown(1.3).io(1.28e8, 1e6),
+            TaskProfile::trivial()
+                .compute(60.0)
+                .slowdown(1.3)
+                .io(1.28e8, 1e6),
         ));
         b.depend(merge, wide, DependencyPattern::AllToAll);
         b.build().expect("valid")

@@ -263,9 +263,7 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskR
         // Statelessness sanity check: everything this task reads must
         // already sit in the store.
         if t.deps.is_empty() {
-            d.env_handles
-                .store
-                .assert_present(&initial_key(&w.name));
+            d.env_handles.store.assert_present(&initial_key(&w.name));
         } else {
             for dep in &t.deps {
                 d.env_handles
@@ -297,42 +295,35 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskR
     let faas = handles.faas.clone();
     let store = handles.store.clone();
     let seeds = handles.seeds;
-    mashup_cloud::run_task_on_faas(
-        sim,
-        &faas,
-        &store,
-        spec,
-        &seeds,
-        move |sim, stats| {
-            let (components, output_bytes) = {
-                let d = driver2.borrow();
-                let t = d.workflow.task(r);
-                (t.components, t.profile.output_bytes)
-            };
-            // Serverless outputs always live in the store.
-            handles.store.register_object(
-                sim.now(),
-                output_key(&task_name),
-                components as f64 * output_bytes,
-            );
-            let report = TaskReport {
-                name: task_name.clone(),
-                platform: Platform::Serverless,
-                phase: r.phase,
-                components,
-                start_secs: stats.start.as_secs(),
-                end_secs: stats.end.as_secs(),
-                compute_secs: stats.compute_secs,
-                io_secs: stats.io_secs,
-                cold_start_secs: stats.cold_start_secs,
-                scaling_secs: stats.scaling_secs(),
-                checkpoints: stats.checkpoints,
-                n_cold: stats.n_cold,
-                n_warm: stats.n_warm,
-            };
-            finish_task(sim, driver2, r, report);
-        },
-    );
+    mashup_cloud::run_task_on_faas(sim, &faas, &store, spec, &seeds, move |sim, stats| {
+        let (components, output_bytes) = {
+            let d = driver2.borrow();
+            let t = d.workflow.task(r);
+            (t.components, t.profile.output_bytes)
+        };
+        // Serverless outputs always live in the store.
+        handles.store.register_object(
+            sim.now(),
+            output_key(&task_name),
+            components as f64 * output_bytes,
+        );
+        let report = TaskReport {
+            name: task_name.clone(),
+            platform: Platform::Serverless,
+            phase: r.phase,
+            components,
+            start_secs: stats.start.as_secs(),
+            end_secs: stats.end.as_secs(),
+            compute_secs: stats.compute_secs,
+            io_secs: stats.io_secs,
+            cold_start_secs: stats.cold_start_secs,
+            scaling_secs: stats.scaling_secs(),
+            checkpoints: stats.checkpoints,
+            n_cold: stats.n_cold,
+            n_warm: stats.n_warm,
+        };
+        finish_task(sim, driver2, r, report);
+    });
 }
 
 fn spawn_on_cluster(
@@ -350,9 +341,10 @@ fn spawn_on_cluster(
         // sub-cluster master (Algorithm 1 line 12); later phases pull from
         // other workers over the fabric — or from the store over the WAN
         // when any producer's output lives there.
-        let from_store = t.deps.iter().any(|dep| {
-            d.locations[dep.producer.phase][dep.producer.task] == OutputLocation::Store
-        });
+        let from_store = t
+            .deps
+            .iter()
+            .any(|dep| d.locations[dep.producer.phase][dep.producer.task] == OutputLocation::Store);
         if from_store {
             for dep in &t.deps {
                 if d.locations[dep.producer.phase][dep.producer.task] == OutputLocation::Store {
@@ -394,49 +386,39 @@ fn spawn_on_cluster(
     let task_name = driver.borrow().workflow.task(r).name.clone();
     let store = handles.store.clone();
     let cluster = handles.cluster.clone();
-    cluster.run_task(
-        sim,
-        Some(&handles.store),
-        spec,
-        move |sim, stats| {
-            let (components, output_bytes) = {
-                let d = driver2.borrow();
-                let t = d.workflow.task(r);
-                (t.components, t.profile.output_bytes)
-            };
-            if to_store {
-                store.register_object(
-                    sim.now(),
-                    output_key(&task_name),
-                    components as f64 * output_bytes,
-                );
-            }
-            let report = TaskReport {
-                name: task_name.clone(),
-                platform: Platform::VmCluster,
-                phase: r.phase,
-                components,
-                start_secs: stats.start.as_secs(),
-                end_secs: stats.end.as_secs(),
-                compute_secs: stats.compute_secs,
-                io_secs: stats.io_secs,
-                cold_start_secs: 0.0,
-                scaling_secs: 0.0,
-                checkpoints: 0,
-                n_cold: 0,
-                n_warm: 0,
-            };
-            finish_task(sim, driver2, r, report);
-        },
-    );
+    cluster.run_task(sim, Some(&handles.store), spec, move |sim, stats| {
+        let (components, output_bytes) = {
+            let d = driver2.borrow();
+            let t = d.workflow.task(r);
+            (t.components, t.profile.output_bytes)
+        };
+        if to_store {
+            store.register_object(
+                sim.now(),
+                output_key(&task_name),
+                components as f64 * output_bytes,
+            );
+        }
+        let report = TaskReport {
+            name: task_name.clone(),
+            platform: Platform::VmCluster,
+            phase: r.phase,
+            components,
+            start_secs: stats.start.as_secs(),
+            end_secs: stats.end.as_secs(),
+            compute_secs: stats.compute_secs,
+            io_secs: stats.io_secs,
+            cold_start_secs: 0.0,
+            scaling_secs: 0.0,
+            checkpoints: 0,
+            n_cold: 0,
+            n_warm: 0,
+        };
+        finish_task(sim, driver2, r, report);
+    });
 }
 
-fn finish_task(
-    sim: &mut Simulation,
-    driver: Rc<RefCell<Driver>>,
-    r: TaskRef,
-    report: TaskReport,
-) {
+fn finish_task(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, r: TaskRef, report: TaskReport) {
     let next_phase = {
         let mut d = driver.borrow_mut();
         d.reports.push(report);

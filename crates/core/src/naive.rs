@@ -36,11 +36,7 @@ mod tests {
         b.begin_phase();
         b.add_task(Task::new("narrow", 4, TaskProfile::trivial()));
         b.add_task(Task::new("wide", 100, TaskProfile::trivial()));
-        b.add_task(Task::new(
-            "fat",
-            100,
-            TaskProfile::trivial().memory(10.0),
-        ));
+        b.add_task(Task::new("fat", 100, TaskProfile::trivial().memory(10.0)));
         b.build().expect("valid")
     }
 

@@ -151,9 +151,7 @@ impl Pdc {
             let report = execute_in(&mut env, &tuned, workflow, &vm_plan, "pdc-profiling");
             add_expense(&mut profiling_expense, &report.expense);
             for t in &report.tasks {
-                let e = best_task_vm
-                    .entry(t.name.clone())
-                    .or_insert(f64::INFINITY);
+                let e = best_task_vm.entry(t.name.clone()).or_insert(f64::INFINITY);
                 *e = e.min(t.makespan_secs());
             }
             // Hysteresis: a finer split must be clearly (≥5 %) better —
@@ -285,9 +283,8 @@ impl Pdc {
         // node time it frees (makespan reduction × cluster size) is worth
         // more than the function bill.
         let fn_cost = components as f64 * probe_busy_secs / 3600.0 * price_fn;
-        let saved_node_cost = (t_vm - t_sl_est).max(0.0) / 3600.0
-            * self.cfg.cluster.nodes as f64
-            * price_vm;
+        let saved_node_cost =
+            (t_vm - t_sl_est).max(0.0) / 3600.0 * self.cfg.cluster.nodes as f64 * price_vm;
         let _ = factors;
         let serverless_wins = match self.objective {
             Objective::ExecutionTime => t_sl_est < t_vm,
@@ -364,18 +361,14 @@ fn refine_boundary_taxes(
     // Iterate to a fixpoint (flips can remove other tasks' taxes).
     for _ in 0..workflow.task_count() {
         let mut flipped = false;
-        for i in 0..decisions.len() {
-            let (r, gain) = {
-                let d = &decisions[i];
-                if d.platform != Platform::Serverless {
-                    continue;
-                }
-                (d.task, d.t_vm_secs - d.t_serverless_est_secs)
-            };
+        for d in decisions.iter_mut() {
+            if d.platform != Platform::Serverless {
+                continue;
+            }
+            let (r, gain) = (d.task, d.t_vm_secs - d.t_serverless_est_secs);
             let tax = boundary_tax(workflow, plan, r, delta);
             if tax > gain {
                 plan.set(r, Platform::VmCluster);
-                let d = &mut decisions[i];
                 d.platform = Platform::VmCluster;
                 d.forced_vm_reason = Some(format!(
                     "hybrid boundary tax ({tax:.1} s of extra WAN data movement) \
@@ -420,9 +413,10 @@ fn boundary_tax(
         if plan.platform(c) != Platform::VmCluster {
             continue;
         }
-        let other_store_producer = workflow.task(c).deps.iter().any(|dep| {
-            dep.producer != r && plan.platform(dep.producer) == Platform::Serverless
-        });
+        let other_store_producer =
+            workflow.task(c).deps.iter().any(|dep| {
+                dep.producer != r && plan.platform(dep.producer) == Platform::Serverless
+            });
         if !other_store_producer {
             let ct = workflow.task(c);
             extra_bytes += ct.components as f64 * ct.profile.input_bytes;
@@ -510,7 +504,12 @@ struct BatchStats {
     makespan: f64,
 }
 
-fn run_noop_batch(cfg: &MashupConfig, components: usize, compute: f64, io_bytes: f64) -> BatchStats {
+fn run_noop_batch(
+    cfg: &MashupConfig,
+    components: usize,
+    compute: f64,
+    io_bytes: f64,
+) -> BatchStats {
     let mut env = CloudEnv::with_seed_offset(cfg, 0xCA11B7A7E ^ components as u64);
     env.store
         .register_object(env.sim.now(), "calib-input", io_bytes);
@@ -537,7 +536,10 @@ fn run_noop_batch(cfg: &MashupConfig, components: usize, compute: f64, io_bytes:
         });
     });
     env.sim.run();
-    let stats = out.borrow_mut().take().expect("calibration batch completed");
+    let stats = out
+        .borrow_mut()
+        .take()
+        .expect("calibration batch completed");
     BatchStats {
         scaling: stats.scaling_secs(),
         mean_start_latency: stats.cold_start_secs / stats.n_cold.max(1) as f64,
@@ -637,7 +639,9 @@ mod tests {
         b.add_task(mashup_dag::Task::new(
             "solo",
             1,
-            mashup_dag::TaskProfile::trivial().compute(300.0).slowdown(1.2),
+            mashup_dag::TaskProfile::trivial()
+                .compute(300.0)
+                .slowdown(1.2),
         ));
         let w = b.build().expect("valid");
         let report = Pdc::new(cfg(8)).decide(&w);
@@ -652,13 +656,19 @@ mod tests {
         b.add_task(mashup_dag::Task::new(
             "fat",
             64,
-            mashup_dag::TaskProfile::trivial().compute(10.0).memory(16.0),
+            mashup_dag::TaskProfile::trivial()
+                .compute(10.0)
+                .memory(16.0),
         ));
         let w = b.build().expect("valid");
         let report = Pdc::new(cfg(2)).decide(&w);
         let d = &report.decisions[0];
         assert_eq!(d.platform, Platform::VmCluster);
-        assert!(d.forced_vm_reason.as_deref().expect("forced").contains("memory"));
+        assert!(d
+            .forced_vm_reason
+            .as_deref()
+            .expect("forced")
+            .contains("memory"));
     }
 
     #[test]
@@ -705,7 +715,9 @@ mod tests {
         ));
         let w = b.build().expect("valid");
         let time_plan = Pdc::new(cfg(8)).decide(&w);
-        let cost_plan = Pdc::new(cfg(8)).with_objective(Objective::Expense).decide(&w);
+        let cost_plan = Pdc::new(cfg(8))
+            .with_objective(Objective::Expense)
+            .decide(&w);
         // 512 comps on 16 slots: serverless is much faster (time says S),
         // but 512 function-bills outweigh 8 nodes' saved seconds only if
         // the saving is large — check the decisions diverge as computed.

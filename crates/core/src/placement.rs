@@ -85,7 +85,10 @@ impl PlacementPlan {
 
     /// Number of tasks assigned to `platform`.
     pub fn count(&self, platform: Platform) -> usize {
-        self.assignments.values().filter(|&&p| p == platform).count()
+        self.assignments
+            .values()
+            .filter(|&&p| p == platform)
+            .count()
     }
 
     /// True if at least one task runs on the VM cluster.

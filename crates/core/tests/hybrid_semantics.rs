@@ -109,7 +109,10 @@ fn boundary_tax_flips_marginal_serverless_wins_back_to_vm() {
     let consumer = b.add_task(Task::new(
         "consumer",
         64,
-        TaskProfile::trivial().compute(3.0).memory(2.0).contention(0.0),
+        TaskProfile::trivial()
+            .compute(3.0)
+            .memory(2.0)
+            .contention(0.0),
     ));
     b.depend(consumer, producer, DependencyPattern::AllToAll);
     let w = b.build().expect("valid");
@@ -174,7 +177,10 @@ fn subcluster_split_isolates_concurrent_vm_tasks() {
     b.add_task(Task::new(
         "wide",
         256,
-        TaskProfile::trivial().compute(10.0).memory(2.0).contention(2.0),
+        TaskProfile::trivial()
+            .compute(10.0)
+            .memory(2.0)
+            .contention(2.0),
     ));
     b.add_task(Task::new("solo", 1, TaskProfile::trivial().compute(100.0)));
     let w = b.build().expect("valid");

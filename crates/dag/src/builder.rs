@@ -61,7 +61,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "duplicate task name '{t}'")
             }
             ValidationError::DanglingReference { consumer, producer } => {
-                write!(f, "task '{consumer}' depends on nonexistent task {producer}")
+                write!(
+                    f,
+                    "task '{consumer}' depends on nonexistent task {producer}"
+                )
             }
             ValidationError::NotEarlierPhase { consumer, producer } => write!(
                 f,
@@ -338,6 +341,8 @@ mod tests {
             producer: TaskRef::new(1, 0),
         };
         assert!(e.to_string().contains("earlier phase"));
-        assert!(ValidationError::EmptyWorkflow.to_string().contains("no phases"));
+        assert!(ValidationError::EmptyWorkflow
+            .to_string()
+            .contains("no phases"));
     }
 }

@@ -37,10 +37,10 @@ impl DependencyPattern {
             DependencyPattern::OneToOne if producer != consumer => Err(format!(
                 "OneToOne requires equal component counts, got {producer} -> {consumer}"
             )),
-            DependencyPattern::FanOutBlocks if consumer % producer != 0 => Err(format!(
+            DependencyPattern::FanOutBlocks if !consumer.is_multiple_of(producer) => Err(format!(
                 "FanOutBlocks requires consumer ({consumer}) divisible by producer ({producer})"
             )),
-            DependencyPattern::FanInBlocks if producer % consumer != 0 => Err(format!(
+            DependencyPattern::FanInBlocks if !producer.is_multiple_of(consumer) => Err(format!(
                 "FanInBlocks requires producer ({producer}) divisible by consumer ({consumer})"
             )),
             _ => Ok(()),
@@ -49,12 +49,7 @@ impl DependencyPattern {
 
     /// The producer component indices that consumer component `comp` depends
     /// on, given the two tasks' component counts.
-    pub fn producer_components(
-        &self,
-        producer: usize,
-        consumer: usize,
-        comp: usize,
-    ) -> Vec<usize> {
+    pub fn producer_components(&self, producer: usize, consumer: usize, comp: usize) -> Vec<usize> {
         debug_assert!(comp < consumer);
         match self {
             DependencyPattern::OneToOne => vec![comp],

@@ -133,7 +133,9 @@ impl TaskProfile {
         ];
         for (name, v) in nonneg {
             if !v.is_finite() || v < 0.0 {
-                return Err(format!("profile field {name} must be finite and >= 0, got {v}"));
+                return Err(format!(
+                    "profile field {name} must be finite and >= 0, got {v}"
+                ));
             }
         }
         if !self.serverless_slowdown.is_finite() || self.serverless_slowdown <= 0.0 {

@@ -112,9 +112,10 @@ impl Workflow {
 
     /// Iterates over all task references in phase order.
     pub fn task_refs(&self) -> impl Iterator<Item = TaskRef> + '_ {
-        self.phases.iter().enumerate().flat_map(|(pi, phase)| {
-            (0..phase.tasks.len()).map(move |ti| TaskRef::new(pi, ti))
-        })
+        self.phases
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, phase)| (0..phase.tasks.len()).map(move |ti| TaskRef::new(pi, ti)))
     }
 
     /// Number of tasks across all phases.

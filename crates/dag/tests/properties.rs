@@ -11,10 +11,7 @@ fn layered_workflow() -> impl Strategy<Value = mashup_dag::Workflow> {
     // Phases: 1..5, each with 1..4 tasks of 1..64 components, each non-first
     // task depending (AllToAll) on one random task of the previous phase.
     (
-        proptest::collection::vec(
-            proptest::collection::vec(1usize..64, 1..4),
-            1..5,
-        ),
+        proptest::collection::vec(proptest::collection::vec(1usize..64, 1..4), 1..5),
         any::<u64>(),
     )
         .prop_map(|(shape, seed)| {

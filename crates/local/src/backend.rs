@@ -164,7 +164,12 @@ impl LocalBackend {
         inputs
     }
 
-    fn run_task(&self, workflow: &Workflow, r: TaskRef, placement: LocalPlacement) -> LocalTaskReport {
+    fn run_task(
+        &self,
+        workflow: &Workflow,
+        r: TaskRef,
+        placement: LocalPlacement,
+    ) -> LocalTaskReport {
         let t = workflow.task(r);
         let logic = self
             .logic
@@ -208,8 +213,7 @@ impl LocalBackend {
                             inputs: self.inputs_for(workflow, r, i),
                         };
                         let logic = logic.clone();
-                        self.faas
-                            .invoke(&code_key, move || logic(&ctx))
+                        self.faas.invoke(&code_key, move || logic(&ctx))
                     })
                     .collect();
                 let retry: Mutex<Vec<usize>> = Mutex::new(Vec::new());
@@ -285,7 +289,12 @@ mod tests {
         );
         be.register_fn("emit", |ctx| vec![ctx.component as u8]);
         be.register_fn("sum", |ctx| {
-            let total: u64 = ctx.inputs.iter().flat_map(|b| b.iter()).map(|&x| x as u64).sum();
+            let total: u64 = ctx
+                .inputs
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|&x| x as u64)
+                .sum();
             total.to_le_bytes().to_vec()
         });
         be
@@ -345,7 +354,12 @@ mod tests {
             vec![ctx.component as u8]
         });
         be.register_fn("sum", |ctx| {
-            let total: u64 = ctx.inputs.iter().flat_map(|b| b.iter()).map(|&x| x as u64).sum();
+            let total: u64 = ctx
+                .inputs
+                .iter()
+                .flat_map(|b| b.iter())
+                .map(|&x| x as u64)
+                .sum();
             total.to_le_bytes().to_vec()
         });
         let report = be.run(&sum_pipeline(), |r| {

@@ -36,9 +36,8 @@ impl MemStore {
     /// producer has not written it yet (mirrors the simulated store's
     /// `assert_present`).
     pub fn must_get(&self, key: &str) -> Bytes {
-        self.get(key).unwrap_or_else(|| {
-            panic!("object '{key}' read before it was written: scheduling bug")
-        })
+        self.get(key)
+            .unwrap_or_else(|| panic!("object '{key}' read before it was written: scheduling bug"))
     }
 
     /// Number of stored objects.

@@ -7,11 +7,20 @@
 //! is re-planned under the new ones. This is the mechanism behind every
 //! contention effect in the cloud models: master-NIC bottlenecks, S3
 //! aggregate-bandwidth saturation, and cluster-network congestion.
+//!
+//! Shares are cached per transfer and recomputed lazily: the cache is
+//! invalidated only when the transfer set (or a cap) changes, so the three
+//! share consumers on a completion tick (advance, utilization trace, replan)
+//! trigger at most one water-fill pass instead of three, and the pass itself
+//! runs over a slab + sorted index vectors with no per-call allocation. The
+//! recompute walks flows in exactly the order the original per-call
+//! `BTreeMap` build did (cap ascending, id breaking ties), so every
+//! floating-point operation happens in the same sequence and simulated
+//! results are bit-for-bit unchanged.
 
 use crate::engine::{EventHandle, Simulation};
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Completion epsilon: transfers within this many bytes of done are finished.
@@ -24,16 +33,29 @@ type DoneFn = Box<dyn FnOnce(&mut Simulation)>;
 pub struct TransferId(u64);
 
 struct Transfer {
+    id: u64,
     remaining: f64,
     /// Per-flow bandwidth cap in bytes/sec (`f64::INFINITY` when uncapped).
     cap: f64,
+    /// Cached fair share in bytes/sec; valid only while `shares_dirty` is
+    /// false on the owning link.
+    share: f64,
     on_done: Option<DoneFn>,
 }
 
 struct LinkState {
     name: String,
     capacity: f64,
-    transfers: BTreeMap<u64, Transfer>,
+    /// Slab of transfers; `None` entries are free and listed in `free`.
+    slab: Vec<Option<Transfer>>,
+    free: Vec<u32>,
+    /// Slot indices ordered by transfer id ascending. Ids are allocated
+    /// monotonically, so arrivals append; removals shift (cheap: `u32`s).
+    by_id: Vec<u32>,
+    /// Slot indices ordered by (cap, id) ascending — the water-fill order.
+    by_cap: Vec<u32>,
+    /// Set whenever the transfer set changes; cleared by `refresh_shares`.
+    shares_dirty: bool,
     next_id: u64,
     last_update: SimTime,
     completion_event: Option<EventHandle>,
@@ -44,40 +66,102 @@ struct LinkState {
 }
 
 impl LinkState {
-    /// Computes the max-min fair share per transfer id (water-filling with
-    /// per-flow caps). The sum of shares never exceeds capacity.
-    fn shares(&self) -> BTreeMap<u64, f64> {
-        let mut shares: BTreeMap<u64, f64> = BTreeMap::new();
-        let mut unassigned: Vec<(u64, f64)> = self
-            .transfers
-            .iter()
-            .map(|(&id, t)| (id, t.cap))
-            .collect();
-        // Sort by cap ascending so capped flows saturate first.
-        unassigned.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("caps are never NaN"));
-        let mut remaining_cap = self.capacity;
-        let mut i = 0;
-        while i < unassigned.len() {
-            let n_left = (unassigned.len() - i) as f64;
-            let fair = remaining_cap / n_left;
-            let (id, cap) = unassigned[i];
-            let share = cap.min(fair);
-            shares.insert(id, share);
-            remaining_cap -= share;
-            i += 1;
+    fn transfer(&self, slot: u32) -> &Transfer {
+        self.slab[slot as usize].as_ref().expect("live slot")
+    }
+
+    /// Binary-searches `by_id` for the slot holding transfer `id`.
+    fn find_by_id(&self, id: u64) -> Option<usize> {
+        self.by_id
+            .binary_search_by(|&slot| self.transfer(slot).id.cmp(&id))
+            .ok()
+    }
+
+    /// Position in `by_cap` where `(cap, id)` belongs (present or not).
+    fn cap_position(&self, cap: f64, id: u64) -> usize {
+        self.by_cap
+            .binary_search_by(|&slot| {
+                let t = self.transfer(slot);
+                t.cap
+                    .partial_cmp(&cap)
+                    .expect("caps are never NaN")
+                    .then(t.id.cmp(&id))
+            })
+            .unwrap_or_else(|i| i)
+    }
+
+    fn insert(&mut self, t: Transfer) {
+        let (id, cap) = (t.id, t.cap);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(t);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("transfer slot overflow");
+                self.slab.push(Some(t));
+                s
+            }
+        };
+        // Ids are monotone, so the id index always appends.
+        self.by_id.push(slot);
+        let pos = self.cap_position(cap, id);
+        self.by_cap.insert(pos, slot);
+        self.shares_dirty = true;
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Transfer> {
+        let id_pos = self.find_by_id(id)?;
+        let slot = self.by_id.remove(id_pos);
+        let t = self.slab[slot as usize].take().expect("live slot");
+        let cap_pos = {
+            // `cap_position` can't look the slot up any more; search the
+            // index vector for it directly (still O(n), shifts u32s).
+            self.by_cap
+                .iter()
+                .position(|&s| s == slot)
+                .expect("cap index in sync")
+        };
+        self.by_cap.remove(cap_pos);
+        self.free.push(slot);
+        self.shares_dirty = true;
+        Some(t)
+    }
+
+    /// Recomputes max-min fair shares (water-filling with per-flow caps) if
+    /// the transfer set changed since the last pass. The sum of shares never
+    /// exceeds capacity. Flows are visited cap-ascending with id breaking
+    /// ties — identical operation order to a stable sort over an
+    /// id-ascending scan, which is what the per-call rebuild used to do.
+    fn refresh_shares(&mut self) {
+        if !self.shares_dirty {
+            return;
         }
-        shares
+        let n = self.by_cap.len();
+        let mut remaining_cap = self.capacity;
+        for i in 0..n {
+            let slot = self.by_cap[i] as usize;
+            let n_left = (n - i) as f64;
+            let fair = remaining_cap / n_left;
+            let t = self.slab[slot].as_mut().expect("live slot");
+            let share = t.cap.min(fair);
+            t.share = share;
+            remaining_cap -= share;
+        }
+        self.shares_dirty = false;
     }
 
     /// Advances every transfer's progress from `last_update` to `now` under
     /// the current shares.
     fn advance(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_update).as_secs();
-        if dt > 0.0 && !self.transfers.is_empty() {
-            let shares = self.shares();
+        if dt > 0.0 && !self.by_id.is_empty() {
+            self.refresh_shares();
             let mut delivered = 0.0;
-            for (id, t) in self.transfers.iter_mut() {
-                let moved = (shares[id] * dt).min(t.remaining);
+            for i in 0..self.by_id.len() {
+                let slot = self.by_id[i] as usize;
+                let t = self.slab[slot].as_mut().expect("live slot");
+                let moved = (t.share * dt).min(t.remaining);
                 t.remaining -= moved;
                 delivered += moved;
             }
@@ -88,7 +172,9 @@ impl LinkState {
 
     fn record_utilization(&mut self, now: SimTime) {
         if self.trace_enabled {
-            let used: f64 = self.shares().values().sum();
+            self.refresh_shares();
+            // Sum in id order, matching the original `shares().values().sum()`.
+            let used: f64 = self.by_id.iter().map(|&s| self.transfer(s).share).sum();
             let frac = if self.capacity > 0.0 {
                 used / self.capacity
             } else {
@@ -116,7 +202,11 @@ impl SharedLink {
             inner: Rc::new(RefCell::new(LinkState {
                 name: name.into(),
                 capacity: capacity_bps,
-                transfers: BTreeMap::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+                by_id: Vec::new(),
+                by_cap: Vec::new(),
+                shares_dirty: false,
                 next_id: 0,
                 last_update: SimTime::ZERO,
                 completion_event: None,
@@ -149,7 +239,7 @@ impl SharedLink {
 
     /// Number of in-flight transfers.
     pub fn active_transfers(&self) -> usize {
-        self.inner.borrow().transfers.len()
+        self.inner.borrow().by_id.len()
     }
 
     /// Total bytes delivered so far (advanced to `now`).
@@ -157,6 +247,21 @@ impl SharedLink {
         let mut s = self.inner.borrow_mut();
         s.advance(now);
         s.bytes_delivered
+    }
+
+    /// The current fair share of every in-flight transfer, as
+    /// `(transfer id, bytes/sec)` in id order. Diagnostic surface for tests
+    /// and tools; forces a share refresh if the set changed.
+    pub fn current_shares(&self) -> Vec<(u64, f64)> {
+        let mut s = self.inner.borrow_mut();
+        s.refresh_shares();
+        s.by_id
+            .iter()
+            .map(|&slot| {
+                let t = s.transfer(slot);
+                (t.id, t.share)
+            })
+            .collect()
     }
 
     /// Starts a transfer of `bytes` with an optional per-flow cap, invoking
@@ -183,14 +288,13 @@ impl SharedLink {
             s.advance(sim.now());
             let id = s.next_id;
             s.next_id += 1;
-            s.transfers.insert(
+            s.insert(Transfer {
                 id,
-                Transfer {
-                    remaining: bytes,
-                    cap: per_flow_cap.unwrap_or(f64::INFINITY),
-                    on_done: Some(Box::new(on_done)),
-                },
-            );
+                remaining: bytes,
+                cap: per_flow_cap.unwrap_or(f64::INFINITY),
+                share: 0.0,
+                on_done: Some(Box::new(on_done)),
+            });
             s.record_utilization(sim.now());
             id
         };
@@ -204,7 +308,7 @@ impl SharedLink {
         let remaining = {
             let mut s = self.inner.borrow_mut();
             s.advance(sim.now());
-            let rem = s.transfers.remove(&id.0).map(|t| t.remaining);
+            let rem = s.remove(id.0).map(|t| t.remaining);
             s.record_utilization(sim.now());
             rem
         };
@@ -221,19 +325,19 @@ impl SharedLink {
             if let Some(h) = s.completion_event.take() {
                 sim.cancel(h);
             }
-            if s.transfers.is_empty() {
+            if s.by_id.is_empty() {
                 None
             } else {
-                let shares = s.shares();
+                s.refresh_shares();
                 let dt = s
-                    .transfers
+                    .by_id
                     .iter()
-                    .map(|(id, t)| {
-                        let share = shares[id];
-                        if share <= 0.0 {
+                    .map(|&slot| {
+                        let t = s.transfer(slot);
+                        if t.share <= 0.0 {
                             f64::INFINITY
                         } else {
-                            t.remaining / share
+                            t.remaining / t.share
                         }
                     })
                     .fold(f64::INFINITY, f64::min);
@@ -255,28 +359,33 @@ impl SharedLink {
             s.completion_event = None;
             s.advance(sim.now());
             let mut done_ids: Vec<u64> = s
-                .transfers
+                .by_id
                 .iter()
-                .filter(|(_, t)| t.remaining <= EPS_BYTES)
-                .map(|(&id, _)| id)
+                .map(|&slot| s.transfer(slot))
+                .filter(|t| t.remaining <= EPS_BYTES)
+                .map(|t| t.id)
                 .collect();
-            if done_ids.is_empty() && !s.transfers.is_empty() {
+            if done_ids.is_empty() && !s.by_id.is_empty() {
                 // Ticks fire exactly at a planned completion, so if nothing
                 // crossed the epsilon the residue is floating-point error
                 // (advancing by `remaining/share` can round to a dt smaller
                 // than one ulp of the clock, which would loop forever).
-                // Force-finish the transfer closest to done.
-                let (&id, _) = s
-                    .transfers
+                // Force-finish the transfer closest to done (first minimum
+                // in id order, as `Iterator::min_by` guarantees).
+                let id = s
+                    .by_id
                     .iter()
+                    .map(|&slot| s.transfer(slot))
                     .min_by(|a, b| {
-                        a.1.remaining
-                            .partial_cmp(&b.1.remaining)
+                        a.remaining
+                            .partial_cmp(&b.remaining)
                             .expect("remaining is never NaN")
                     })
-                    .expect("non-empty");
+                    .expect("non-empty")
+                    .id;
+                let slot = s.by_id[s.find_by_id(id).expect("present")] as usize;
                 let residue = {
-                    let t = s.transfers.get_mut(&id).expect("present");
+                    let t = s.slab[slot].as_mut().expect("live slot");
                     let r = t.remaining;
                     t.remaining = 0.0;
                     r
@@ -286,7 +395,7 @@ impl SharedLink {
             }
             let mut callbacks = Vec::with_capacity(done_ids.len());
             for id in done_ids {
-                if let Some(mut t) = s.transfers.remove(&id) {
+                if let Some(mut t) = s.remove(id) {
                     if let Some(cb) = t.on_done.take() {
                         callbacks.push(cb);
                     }
@@ -367,10 +476,7 @@ mod tests {
         let link = SharedLink::new("l", 100.0);
         // One flow capped at 20 B/s, one uncapped: uncapped gets 80 B/s.
         // capped: 200/20 = 10 s; uncapped: 800/80 = 10 s.
-        let t = finish_times(
-            &link,
-            &[(200.0, Some(20.0), 0.0), (800.0, None, 0.0)],
-        );
+        let t = finish_times(&link, &[(200.0, Some(20.0), 0.0), (800.0, None, 0.0)]);
         assert!((t[0] - 10.0).abs() < 1e-9);
         assert!((t[1] - 10.0).abs() < 1e-9);
     }
@@ -434,11 +540,44 @@ mod tests {
         // 10 transfers of 100 bytes each on a 100 B/s link: aggregate work is
         // 1000 bytes -> exactly 10 seconds regardless of sharing pattern.
         let link = SharedLink::new("l", 100.0);
-        let jobs: Vec<(f64, Option<f64>, f64)> =
-            (0..10).map(|_| (100.0, None, 0.0)).collect();
+        let jobs: Vec<(f64, Option<f64>, f64)> = (0..10).map(|_| (100.0, None, 0.0)).collect();
         let t = finish_times(&link, &jobs);
         for ti in t {
             assert!((ti - 10.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn current_shares_water_fills_caps_then_splits_the_rest() {
+        let mut sim = Simulation::new();
+        let link = SharedLink::new("l", 100.0);
+        let link2 = link.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| {
+            link2.start_transfer(sim, 1.0e6, Some(10.0), |_| {});
+            link2.start_transfer(sim, 1.0e6, None, |_| {});
+            link2.start_transfer(sim, 1.0e6, None, |_| {});
+        });
+        sim.run_until(Some(SimTime::from_secs(0.0)));
+        let shares = link.current_shares();
+        assert_eq!(shares.len(), 3);
+        // Capped flow saturates at 10; the remaining 90 splits 45/45.
+        assert!((shares[0].1 - 10.0).abs() < 1e-12);
+        assert!((shares[1].1 - 45.0).abs() < 1e-12);
+        assert!((shares[2].1 - 45.0).abs() < 1e-12);
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!(total <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_without_id_confusion() {
+        // Drive enough arrival/completion churn that slots recycle, then
+        // check ids remain unique and everything completes.
+        let link = SharedLink::new("l", 1000.0);
+        let jobs: Vec<(f64, Option<f64>, f64)> = (0..50)
+            .map(|i| (100.0, None, (i % 7) as f64 * 0.5))
+            .collect();
+        let t = finish_times(&link, &jobs);
+        assert_eq!(t.len(), 50);
+        assert_eq!(link.active_transfers(), 0);
     }
 }

@@ -6,6 +6,14 @@
 //! seed and program order. World state lives outside the engine (typically
 //! behind `Rc<RefCell<..>>` handles captured by the event closures), which
 //! keeps the engine free of domain knowledge.
+//!
+//! Cancellation uses a slot/generation slab rather than a tombstone set: a
+//! handle names a slot plus the generation it was issued for, and cancelling
+//! (or firing) bumps the generation so stale heap entries are recognised and
+//! skipped on pop. A live-event counter makes `is_idle` O(1), and the heap is
+//! compacted in place once dead entries outnumber live ones, so replan-heavy
+//! workloads (cancel + reschedule per transfer arrival) no longer accumulate
+//! unbounded garbage.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -18,6 +26,8 @@ pub type EventFn = Box<dyn FnOnce(&mut Simulation)>;
 struct Scheduled {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u32,
     run: EventFn,
 }
 
@@ -38,9 +48,36 @@ impl Ord for Scheduled {
     }
 }
 
+/// Slab entry backing one event slot. The generation is bumped whenever the
+/// slot's event fires or is cancelled, so previously issued handles and stale
+/// heap entries stop matching.
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+}
+
 /// Token identifying a scheduled event, usable to cancel it before it fires.
+///
+/// Internally packs (slot, generation); cancelling an already-fired or
+/// already-cancelled event finds a bumped generation and is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventHandle(u64::from(slot) | (u64::from(gen) << 32))
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Dead-entry count below which compaction is never attempted; tiny queues
+/// are cheap to scan and compacting them would thrash.
+const COMPACT_MIN_DEAD: usize = 64;
 
 /// A deterministic discrete-event simulator.
 ///
@@ -64,7 +101,12 @@ pub struct Simulation {
     now: SimTime,
     next_seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// Events in the heap whose generation still matches their slot.
+    live: usize,
+    /// Stale heap entries (cancelled) awaiting skip-on-pop or compaction.
+    dead: usize,
     events_processed: u64,
     /// Hard cap on processed events; guards against runaway event loops.
     event_limit: u64,
@@ -83,7 +125,10 @@ impl Simulation {
             now: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+            dead: 0,
             events_processed: 0,
             event_limit: u64::MAX,
         }
@@ -119,12 +164,24 @@ impl Simulation {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("event slot index overflow");
+                self.slots.push(Slot { gen: 0 });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
         self.queue.push(Reverse(Scheduled {
             at,
             seq,
+            slot,
+            gen,
             run: Box::new(event),
         }));
-        EventHandle(seq)
+        self.live += 1;
+        EventHandle::new(slot, gen)
     }
 
     /// Schedules `event` after `delay` from now.
@@ -145,7 +202,35 @@ impl Simulation {
     /// Cancels a scheduled event. Cancelling an already-fired or already-
     /// cancelled event is a no-op.
     pub fn cancel(&mut self, handle: EventHandle) {
-        self.cancelled.insert(handle.0);
+        let slot = handle.slot() as usize;
+        if slot >= self.slots.len() || self.slots[slot].gen != handle.gen() {
+            return;
+        }
+        self.retire_slot(slot);
+        self.live -= 1;
+        self.dead += 1;
+        self.maybe_compact();
+    }
+
+    /// Invalidates a slot's outstanding generation and returns it to the free
+    /// list for reuse by a later `schedule_*`.
+    fn retire_slot(&mut self, slot: usize) {
+        self.slots[slot].gen = self.slots[slot].gen.wrapping_add(1);
+        self.free_slots.push(slot as u32);
+    }
+
+    /// Rebuilds the heap without dead entries once they outnumber live ones.
+    /// Ordering is untouched: the heap is rebuilt from the surviving
+    /// `(at, seq)` pairs, which are totally ordered.
+    fn maybe_compact(&mut self) {
+        if self.dead < COMPACT_MIN_DEAD || self.dead * 2 <= self.queue.len() {
+            return;
+        }
+        let heap = std::mem::take(&mut self.queue);
+        let mut entries = heap.into_vec();
+        entries.retain(|Reverse(s)| self.slots[s.slot as usize].gen == s.gen);
+        self.queue = BinaryHeap::from(entries);
+        self.dead = 0;
     }
 
     /// Runs until the queue drains. Returns the final simulated time.
@@ -157,7 +242,9 @@ impl Simulation {
     /// Events scheduled exactly at the deadline still fire.
     pub fn run_until(&mut self, deadline: Option<SimTime>) -> SimTime {
         while let Some(Reverse(head)) = self.queue.pop() {
-            if self.cancelled.remove(&head.seq) {
+            if self.slots[head.slot as usize].gen != head.gen {
+                // Stale entry for a cancelled event: drop it.
+                self.dead -= 1;
                 continue;
             }
             if let Some(d) = deadline {
@@ -170,6 +257,8 @@ impl Simulation {
             }
             debug_assert!(head.at >= self.now, "event queue went backwards");
             self.now = head.at;
+            self.retire_slot(head.slot as usize);
+            self.live -= 1;
             self.events_processed += 1;
             if self.events_processed > self.event_limit {
                 panic!(
@@ -185,11 +274,10 @@ impl Simulation {
         self.now
     }
 
-    /// True if no events remain (ignoring cancelled ones still in the heap).
+    /// True if no events remain. O(1): tracked by a live-event counter
+    /// rather than scanning the heap for non-cancelled entries.
     pub fn is_idle(&self) -> bool {
-        self.queue
-            .iter()
-            .all(|Reverse(s)| self.cancelled.contains(&s.seq))
+        self.live == 0
     }
 }
 
@@ -323,5 +411,70 @@ mod tests {
         sim.cancel(h);
         sim.run();
         assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn cancel_of_fired_event_is_noop_even_after_slot_reuse() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let h1 = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
+        sim.run();
+        // h1's slot is free now; the next schedule reuses it with a bumped
+        // generation. Cancelling the stale h1 must not kill the new event.
+        sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
+        sim.cancel(h1);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn double_cancel_is_noop_even_after_slot_reuse() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let h1 = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
+        sim.cancel(h1);
+        sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
+        sim.cancel(h1);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn is_idle_is_exact_under_cancel_churn() {
+        let mut sim = Simulation::new();
+        assert!(sim.is_idle());
+        let mut handle = None;
+        for _ in 0..10_000 {
+            if let Some(h) = handle.take() {
+                sim.cancel(h);
+            }
+            handle = Some(sim.schedule_in(SimDuration::from_secs(1.0), |_| {}));
+            assert!(!sim.is_idle());
+        }
+        sim.run();
+        assert!(sim.is_idle());
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn compaction_keeps_live_events_and_ordering() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Interleave survivors with a tombstone flood large enough to trip
+        // compaction several times over.
+        let mut doomed = Vec::new();
+        for i in 0..500u32 {
+            sim.schedule_at(SimTime::from_secs(f64::from(i) + 0.5), record(&log, i));
+            doomed.push(sim.schedule_at(
+                SimTime::from_secs(f64::from(i) + 0.7),
+                record(&log, 10_000 + i),
+            ));
+        }
+        for h in doomed {
+            sim.cancel(h);
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..500).collect::<Vec<_>>());
+        assert_eq!(sim.events_processed(), 500);
     }
 }

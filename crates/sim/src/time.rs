@@ -9,11 +9,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// An instant on the simulation clock, in seconds since simulation start.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTime(f64);
 
 /// A span of simulated time, in seconds. Always finite and non-negative.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimDuration(f64);
 
 impl SimTime {
@@ -134,6 +134,11 @@ impl Ord for SimTime {
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl Eq for SimDuration {}
 impl Ord for SimDuration {
@@ -141,6 +146,11 @@ impl Ord for SimDuration {
         self.0
             .partial_cmp(&other.0)
             .expect("SimDuration is never NaN")
+    }
+}
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -258,7 +268,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(2.0),

@@ -43,7 +43,7 @@ proptest! {
             });
         }
         let end = sim.run();
-        let waves = (n + cap - 1) / cap;
+        let waves = n.div_ceil(cap);
         prop_assert!((end.as_secs() - waves as f64 * dur).abs() < 1e-6,
             "makespan {} != {} waves * {}", end.as_secs(), waves, dur);
     }
@@ -97,6 +97,75 @@ proptest! {
         for &t in finishes.borrow().iter() {
             prop_assert!((t - bytes / flow_cap).abs() < 1e-6);
         }
+    }
+
+    /// The cached share table kept by `SharedLink` is bit-for-bit identical
+    /// to a from-scratch max-min water-fill recompute after every arrival,
+    /// cancellation, and completion.
+    #[test]
+    fn cached_shares_match_reference_recompute(
+        ops in proptest::collection::vec((0u8..4, 1u32..50_000, 0u8..2, 1u32..2_000), 1..40)
+    ) {
+        let capacity = 1000.0;
+        let mut sim = Simulation::new();
+        let link = SharedLink::new("prop", capacity);
+        // Transfer ids are allocated sequentially per link, so the k-th
+        // arrival gets id k; track each live flow's cap under that id.
+        let active: Rc<RefCell<std::collections::BTreeMap<u64, f64>>> =
+            Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+        let mut tids: Vec<(u64, mashup_sim::TransferId)> = Vec::new();
+        let mut next_arrival: u64 = 0;
+        let mut t = 0.0f64;
+        for &(kind, bytes, capped, cap) in &ops {
+            t += 0.05;
+            sim.run_until(Some(SimTime::from_secs(t)));
+            if kind < 3 {
+                // Arrival (weighted 3:1 over cancels to keep links busy).
+                let cap = if capped == 1 { Some(cap as f64) } else { None };
+                let id = next_arrival;
+                next_arrival += 1;
+                active.borrow_mut().insert(id, cap.unwrap_or(f64::INFINITY));
+                let active2 = active.clone();
+                let tid = link.start_transfer(&mut sim, bytes as f64, cap, move |_| {
+                    active2.borrow_mut().remove(&id);
+                });
+                tids.push((id, tid));
+            } else if let Some(&(id, tid)) = tids.get(bytes as usize % tids.len().max(1)) {
+                if active.borrow().contains_key(&id) {
+                    link.cancel_transfer(&mut sim, tid);
+                    active.borrow_mut().remove(&id);
+                }
+            }
+            // Reference recompute: stable sort by cap (ids break ties),
+            // then water-fill — the exact operation order of the original
+            // per-call share rebuild.
+            let mut flows: Vec<(u64, f64)> =
+                active.borrow().iter().map(|(&id, &cap)| (id, cap)).collect();
+            flows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("caps are never NaN"));
+            let mut remaining_cap = capacity;
+            let mut expected: Vec<(u64, f64)> = Vec::new();
+            for (i, &(id, cap)) in flows.iter().enumerate() {
+                let n_left = (flows.len() - i) as f64;
+                let fair = remaining_cap / n_left;
+                let share = cap.min(fair);
+                expected.push((id, share));
+                remaining_cap -= share;
+            }
+            expected.sort_by_key(|&(id, _)| id);
+            let got = link.current_shares();
+            prop_assert_eq!(got.len(), expected.len());
+            for (&(gid, gshare), &(eid, eshare)) in got.iter().zip(expected.iter()) {
+                prop_assert_eq!(gid, eid);
+                prop_assert_eq!(
+                    gshare.to_bits(), eshare.to_bits(),
+                    "share mismatch for id {}: cached {} vs reference {}",
+                    gid, gshare, eshare
+                );
+            }
+        }
+        sim.run();
+        prop_assert!(active.borrow().is_empty(), "all transfers complete or cancelled");
+        prop_assert_eq!(link.active_transfers(), 0);
     }
 
     /// Two identical runs produce identical event traces (determinism).

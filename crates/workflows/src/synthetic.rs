@@ -96,10 +96,10 @@ fn pick_pattern(rng: &mut StdRng, producer: usize, consumer: usize) -> Dependenc
     if producer == consumer {
         options.push(DependencyPattern::OneToOne);
     }
-    if consumer % producer == 0 {
+    if consumer.is_multiple_of(producer) {
         options.push(DependencyPattern::FanOutBlocks);
     }
-    if producer % consumer == 0 {
+    if producer.is_multiple_of(consumer) {
         options.push(DependencyPattern::FanInBlocks);
     }
     options[rng.gen_range(0..options.len())]

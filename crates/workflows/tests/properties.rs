@@ -1,7 +1,7 @@
 //! Property-based tests over the workflow definitions.
 
 use mashup_dag::validate;
-use mashup_workflows::{epigenomics, genome1000, srasearch, generate, SyntheticConfig};
+use mashup_workflows::{epigenomics, generate, genome1000, srasearch, SyntheticConfig};
 use proptest::prelude::*;
 
 proptest! {

@@ -9,7 +9,9 @@
 use mashup::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "SRAsearch".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SRAsearch".into());
     let workflow = match name.as_str() {
         "1000Genome" => genome1000::workflow(),
         "Epigenomics" => epigenomics::workflow(),

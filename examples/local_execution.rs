@@ -42,7 +42,9 @@ fn main() {
             .map(|b| String::from_utf8_lossy(b).into_owned())
             .unwrap_or_default();
         // Each component counts a different word of the shared shard.
-        let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"];
+        let words = [
+            "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+        ];
         let word = words[ctx.component % words.len()];
         let n = text.split_whitespace().filter(|w| *w == word).count() as u64;
         n.to_le_bytes().to_vec()
@@ -81,11 +83,7 @@ fn main() {
         println!(
             "{label} wall {:>6.1} ms | total word hits {total} | cold starts {}",
             report.wall_secs * 1000.0,
-            report
-                .tasks
-                .iter()
-                .map(|t| t.cold_starts)
-                .sum::<u64>()
+            report.tasks.iter().map(|t| t.cold_starts).sum::<u64>()
         );
     }
     println!("\nboth placements computed the identical result — the engine's");

@@ -42,7 +42,10 @@ fn main() {
     for d in &outcome.pdc.decisions {
         println!(
             "  {:<8} -> {:<10} (T_vm {:.1}s vs T_serverless≈{:.1}s)",
-            d.name, d.platform.to_string(), d.t_vm_secs, d.t_serverless_est_secs
+            d.name,
+            d.platform.to_string(),
+            d.t_vm_secs,
+            d.t_serverless_est_secs
         );
     }
     println!("\nsimulated timeline:\n{}", outcome.report.render_gantt(48));

@@ -44,11 +44,7 @@ fn main() {
     for d in &outcome.pdc.decisions {
         println!(
             "  {:<10} C={:<4} T_vm={:>8.1}s  T_serverless≈{:>8.1}s  -> {}",
-            d.name,
-            d.components,
-            d.t_vm_secs,
-            d.t_serverless_est_secs,
-            d.platform
+            d.name, d.components, d.t_vm_secs, d.t_serverless_est_secs, d.platform
         );
     }
 
@@ -68,9 +64,6 @@ fn main() {
     println!(
         "  improvement         : {:>7.1}% time, {:.1}% expense",
         improvement_pct(outcome.report.makespan_secs, traditional.makespan_secs),
-        improvement_pct(
-            outcome.report.expense.total(),
-            traditional.expense.total()
-        )
+        improvement_pct(outcome.report.expense.total(), traditional.expense.total())
     );
 }

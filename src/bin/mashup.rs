@@ -41,7 +41,9 @@ struct Args {
 }
 
 fn parse_args(mut rest: std::env::Args) -> Args {
-    let workflow = rest.next().unwrap_or_else(|| die("missing workflow argument"));
+    let workflow = rest
+        .next()
+        .unwrap_or_else(|| die("missing workflow argument"));
     let mut args = Args {
         workflow,
         nodes: 8,

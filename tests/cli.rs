@@ -45,7 +45,14 @@ fn plan_prints_decisions() {
 #[test]
 fn run_executes_a_strategy() {
     let out = mashup()
-        .args(["run", "SRAsearch", "--nodes", "4", "--strategy", "traditional"])
+        .args([
+            "run",
+            "SRAsearch",
+            "--nodes",
+            "4",
+            "--strategy",
+            "traditional",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

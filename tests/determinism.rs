@@ -1,0 +1,63 @@
+//! Regression tests pinning simulated results: the fast-path substrate
+//! (cached link shares, slab event queue) and the parallel sweep runner are
+//! pure performance work, so makespans must stay bit-for-bit where the seed
+//! implementation put them, and figure output must not depend on the sweep
+//! worker count.
+
+use mashup_bench as bench;
+use mashup_bench::{run_strategy, Strategy};
+use mashup_core::MashupConfig;
+use mashup_workflows::{epigenomics, genome1000, srasearch};
+
+/// Mashup makespans on a 4-node AWS-like cluster, captured from the seed
+/// substrate (pre fast-path). Written with `{:?}` so the literals
+/// round-trip exactly; any drift means simulated behavior changed, not
+/// just performance.
+const GOLDEN_MAKESPANS: [(&str, f64); 3] = [
+    ("1000Genome", 923.1301865040341),
+    ("SRAsearch", 418.0425812362353),
+    ("Epigenomics", 5083.493038722836),
+];
+
+#[test]
+fn mashup_makespans_match_seed_goldens_bit_for_bit() {
+    for (name, golden) in GOLDEN_MAKESPANS {
+        let w = match name {
+            "1000Genome" => genome1000::workflow(),
+            "SRAsearch" => srasearch::workflow(),
+            "Epigenomics" => epigenomics::workflow(),
+            _ => unreachable!(),
+        };
+        let r = run_strategy(&MashupConfig::aws(4), &w, Strategy::Mashup);
+        assert_eq!(
+            r.makespan_secs.to_bits(),
+            golden.to_bits(),
+            "{name}: makespan drifted from golden {golden:?} to {:?}",
+            r.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn figure_json_is_byte_identical_across_job_counts() {
+    // fig05 runs three full Mashup plans; fig08 covers two workflows and
+    // two VM families. Together they exercise the sweep fan-out both below
+    // and above the worker count.
+    let serial = {
+        bench::set_jobs(1);
+        (
+            serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize"),
+            serde_json::to_string_pretty(&bench::fig08_vm_families()).expect("serialize"),
+        )
+    };
+    let parallel = {
+        bench::set_jobs(3);
+        (
+            serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize"),
+            serde_json::to_string_pretty(&bench::fig08_vm_families()).expect("serialize"),
+        )
+    };
+    bench::set_jobs(0);
+    assert_eq!(serial.0, parallel.0, "fig05 JSON depends on --jobs");
+    assert_eq!(serial.1, parallel.1, "fig08 JSON depends on --jobs");
+}

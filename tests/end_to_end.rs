@@ -72,11 +72,7 @@ fn reports_are_internally_consistent() {
     let r = &outcome.report;
     assert_eq!(r.tasks.len(), w.task_count());
     // The makespan is the completion of the last task.
-    let last_end = r
-        .tasks
-        .iter()
-        .map(|t| t.end_secs)
-        .fold(0.0f64, f64::max);
+    let last_end = r.tasks.iter().map(|t| t.end_secs).fold(0.0f64, f64::max);
     assert!((r.makespan_secs - last_end).abs() < 1e-6);
     // Phase precedence: every task starts at or after all earlier-phase
     // tasks of its workflow finished.

@@ -33,7 +33,10 @@ fn faas_platform_failures_are_recovered_end_to_end() {
     // retries must carry every task to completion.
     let w = srasearch::workflow();
     let mut cfg = MashupConfig::aws(4);
-    cfg.provider.faas.failure_prob = 0.15;
+    // High enough that some kills land inside the (short) invocation
+    // windows for this RNG stream; the property under test is recovery,
+    // not the exact kill count.
+    cfg.provider.faas.failure_prob = 0.3;
     let mut env = CloudEnv::new(&cfg);
     let plan = PlacementPlan::uniform(&w, Platform::Serverless);
     let report = execute_in(&mut env, &cfg, &w, &plan, "flaky-faas");
@@ -85,7 +88,12 @@ fn reports_serialize_to_json() {
     let json = serde_json::to_string(&outcome).expect("serialize outcome");
     assert!(json.contains("FasterQ-Dump"));
     let summary: serde_json::Value = serde_json::from_str(&json).expect("parse");
-    assert!(summary["report"]["makespan_secs"].as_f64().expect("present") > 0.0);
+    assert!(
+        summary["report"]["makespan_secs"]
+            .as_f64()
+            .expect("present")
+            > 0.0
+    );
 }
 
 #[test]

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures mean wall-clock time per iteration with an adaptive batch loop
+//! (keep doubling the batch until it runs long enough to trust the clock).
+//! Statistical machinery (outlier analysis, HTML reports) is omitted.
+//!
+//! Extra feature used by this workspace's tooling: when the `BENCH_JSON`
+//! environment variable names a file, every measured benchmark is appended
+//! to it as a JSON array of `{name, mean_ns, iters}` records when the
+//! harness exits (see `BENCH_sim.json` in the repo docs).
+
+pub use std::hint::black_box;
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The stub measures per-iteration regardless, so the variants only exist
+/// for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: thousands per batch upstream.
+    SmallInput,
+    /// Large inputs: one batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--test` is what `cargo test` / criterion's own test mode pass to
+        // harness=false bench binaries: run everything once, measure nothing.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (scales measuring time).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Upstream-compatible no-op: measurement time is adaptive here.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            quick: self.quick,
+            // Aim for ~2ms of measured work per nominal sample; enough for a
+            // stable mean on both micro and multi-second benchmarks.
+            target: Duration::from_millis((2 * self.sample_size as u64).max(50)),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let iters = bencher.iters.max(1);
+        let mean_ns = bencher.total.as_nanos() as f64 / iters as f64;
+        if self.quick {
+            println!("{name}: ok (test mode)");
+        } else {
+            println!("{name}  time: [{}]", format_ns(mean_ns));
+        }
+        RESULTS.lock().unwrap().push(Record {
+            name: name.to_string(),
+            mean_ns,
+            iters,
+        });
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    target: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` by running it in adaptively sized batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        black_box(routine()); // Warm-up, untimed.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += batch;
+            if self.total >= self.target {
+                return;
+            }
+            if elapsed < self.target / 8 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+        black_box(routine(setup())); // Warm-up, untimed.
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= self.target || self.iters >= 10_000 {
+                return;
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Called by `criterion_main!` after all groups ran: emits the JSON record
+/// file when `BENCH_JSON` is set.
+#[doc(hidden)]
+pub fn __finish() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}",
+            r.name.replace('"', "\\\""),
+            r.mean_ns,
+            r.iters
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {e}");
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+            $crate::__finish();
+        }
+    };
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) targeting the value-tree
+//! `Serialize`/`Deserialize` traits of the vendored `serde`. Supported input
+//! shapes — exactly what this workspace contains:
+//!
+//! - structs with named fields, honoring `#[serde(default)]` per field
+//! - tuple structs (newtypes serialize as their single inner value,
+//!   longer tuples as arrays)
+//! - enums with unit variants only (serialized as the variant name string)
+//! - container attribute `#[serde(from = "Type", into = "Type")]`
+//!
+//! Anything else (generics, tagged enums, renames, ...) panics at macro
+//! expansion time with a clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: (field name, has `#[serde(default)]`).
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum of unit variants.
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = if let Some(into_ty) = &input.into_ty {
+        format!(
+            "let __converted: {into_ty} = \
+             <Self as ::core::clone::Clone>::clone(self).into();\n\
+             ::serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &input.shape {
+            Shape::Struct(fields) => {
+                let mut s = String::from("let mut __obj = ::std::vec::Vec::new();\n");
+                for (f, _) in fields {
+                    s.push_str(&format!(
+                        "__obj.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__obj)");
+                s
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Shape::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    s.push_str(&format!(
+                        "Self::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    ));
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+    let name = &input.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.from_ty {
+        format!(
+            "let __converted: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::result::Result::Ok(\
+             <Self as ::core::convert::From<{from_ty}>>::from(__converted))"
+        )
+    } else {
+        match &input.shape {
+            Shape::Struct(fields) => {
+                let mut s = String::from(
+                    "let __obj = __v.as_object()\
+                     .ok_or_else(|| ::serde::Error::expected(\"object\", __v))?;\n",
+                );
+                s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+                for (f, has_default) in fields {
+                    if *has_default {
+                        s.push_str(&format!(
+                            "{f}: match ::serde::__get(__obj, \"{f}\") {{\n\
+                             ::core::option::Option::Some(__x) => \
+                             ::serde::Deserialize::from_value(__x)?,\n\
+                             ::core::option::Option::None => \
+                             ::core::default::Default::default(),\n}},\n"
+                        ));
+                    } else {
+                        s.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::__get(__obj, \"{f}\")\
+                             .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                        ));
+                    }
+                }
+                s.push_str("})");
+                s
+            }
+            Shape::Tuple(1) => {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__v)?))"
+                )
+            }
+            Shape::Tuple(n) => {
+                let mut s = format!(
+                    "let __arr = __v.as_array()\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", __v))?;\n\
+                     if __arr.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple length\"));\n}}\n"
+                );
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                s.push_str(&format!(
+                    "::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                ));
+                s
+            }
+            Shape::Enum(variants) => {
+                let mut s = String::from(
+                    "let __s = __v.as_str()\
+                     .ok_or_else(|| ::serde::Error::expected(\"string\", __v))?;\n\
+                     match __s {\n",
+                );
+                for v in variants {
+                    s.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok(Self::{v}),\n"
+                    ));
+                }
+                s.push_str(&format!(
+                    "__other => ::core::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+                ));
+                s
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// --------------------------------------------------------------------------
+// Input parsing
+// --------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from_ty = None;
+    let mut into_ty = None;
+
+    // Container attributes and visibility come before `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_container_attr(g.stream(), &mut from_ty, &mut into_ty);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stub ({name})");
+        }
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Struct(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                panic!("serde_derive: unexpected parenthesized body on enum {name}");
+            }
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("serde_derive: unsupported body for {name}: {other:?}"),
+    };
+
+    Input {
+        name,
+        shape,
+        from_ty,
+        into_ty,
+    }
+}
+
+/// Extracts `from`/`into` types out of one `#[serde(...)]` attribute group.
+/// The group stream looks like `serde (from = "...", into = "...")` for the
+/// outer `#[...]` brackets.
+fn parse_container_attr(
+    stream: TokenStream,
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < args.len() {
+                if let TokenTree::Ident(key) = &args[j] {
+                    let key = key.to_string();
+                    if matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        let lit = match args.get(j + 2) {
+                            Some(TokenTree::Literal(l)) => string_literal_contents(&l.to_string()),
+                            other => {
+                                panic!("serde_derive: expected string literal, found {other:?}")
+                            }
+                        };
+                        match key.as_str() {
+                            "from" => *from_ty = Some(lit),
+                            "into" => *into_ty = Some(lit),
+                            other => panic!(
+                                "serde_derive: unsupported container attribute `{other}` \
+                                 (offline stub supports from/into/default only)"
+                            ),
+                        }
+                        j += 3;
+                        continue;
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {} // Not a #[serde(...)] attribute (doc comment etc.) — ignore.
+    }
+}
+
+fn string_literal_contents(lit: &str) -> String {
+    let stripped = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive: expected plain string literal, got {lit}"));
+    stripped.to_string()
+}
+
+/// Does this attribute group (contents of the outer `#[...]`) say
+/// `serde(default)`?
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(inner.first(),
+                     Some(TokenTree::Ident(i)) if i.to_string() == "default" && inner.len() == 1)
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut pending_default = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if attr_is_serde_default(g.stream()) {
+                        pending_default = true;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip a `(crate)`-style visibility restriction.
+                if matches!(toks.get(i), Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push((id.to_string(), pending_default));
+                pending_default = false;
+                // Skip past the `: Type` up to the next top-level comma.
+                i += 1;
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    match &toks[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // Attribute: `#` plus its bracket group.
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match toks.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "serde_derive: enum {enum_name} has a non-unit variant near {other:?}; \
+                         the offline stub supports unit variants only"
+                    ),
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum {enum_name}: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
