@@ -129,12 +129,8 @@ fn spawn(sim: &mut mashup_sim::Simulation, driver: Rc<RefCell<Driver>>, r: TaskR
                 d.finished_at = Some(sim.now());
                 Vec::new()
             } else {
-                let consumers: Vec<TaskRef> = d
-                    .workflow
-                    .consumers(r)
-                    .into_iter()
-                    .map(|(c, _)| c)
-                    .collect();
+                let consumers: Vec<TaskRef> =
+                    d.workflow.consumers(r).iter().map(|&(c, _)| c).collect();
                 consumers
                     .into_iter()
                     .filter(|c| {

@@ -70,11 +70,7 @@ pub fn cluster_tasks(workflow: &Workflow, max_parallel: usize) -> Workflow {
             .collect();
         phases.push(mashup_dag::Phase { tasks });
     }
-    let mut clustered = Workflow {
-        name: workflow.name.clone(),
-        phases,
-        initial_input_bytes: workflow.initial_input_bytes,
-    };
+    let mut clustered = Workflow::new(workflow.name.clone(), phases, workflow.initial_input_bytes);
     // Consumers of re-clustered producers must also drop incompatible
     // patterns (component counts changed).
     let refs: Vec<_> = clustered.task_refs().collect();

@@ -1,0 +1,80 @@
+//! Planning-layer benchmarks for the content-addressed cache.
+//!
+//! Measures exactly what the cache is for: a cold `Pdc::decide` (every
+//! profiling stage simulated from scratch), a warm one (all three stages
+//! served from a pre-filled [`PlanCache`]), and a node-count sweep — the
+//! Fig. 9 access pattern, where every cell re-probes the same tasks — with
+//! the cache off and on.
+//!
+//! Run `BENCH_JSON=results/BENCH_pdc.json cargo bench --bench pdc_planning`
+//! to refresh the committed numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mashup_core::{MashupConfig, Pdc, PlanCache};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The Fig. 9 cluster sizes, shortened so one sweep stays sub-second.
+const SWEEP_NODES: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn bench_cold_plan(c: &mut Criterion) {
+    let w = mashup_workflows::srasearch::workflow();
+    c.bench_function("pdc/plan_cold_srasearch_8n", |b| {
+        b.iter(|| black_box(Pdc::new(MashupConfig::aws(8)).decide(&w)))
+    });
+}
+
+fn bench_warm_plan(c: &mut Criterion) {
+    let w = mashup_workflows::srasearch::workflow();
+    let cache = Arc::new(PlanCache::new());
+    // Fill every stage once; the measured runs are pure cache hits plus the
+    // (uncached) decision rules and boundary refinement.
+    Pdc::new(MashupConfig::aws(8))
+        .with_cache(cache.clone())
+        .decide(&w);
+    c.bench_function("pdc/plan_warm_srasearch_8n", |b| {
+        b.iter(|| {
+            black_box(
+                Pdc::new(MashupConfig::aws(8))
+                    .with_cache(cache.clone())
+                    .decide(&w),
+            )
+        })
+    });
+}
+
+fn bench_sweep_uncached(c: &mut Criterion) {
+    let w = mashup_workflows::srasearch::workflow();
+    c.bench_function("pdc/node_sweep_uncached", |b| {
+        b.iter(|| {
+            for n in SWEEP_NODES {
+                black_box(Pdc::new(MashupConfig::aws(n)).decide(&w));
+            }
+        })
+    });
+}
+
+fn bench_sweep_cached(c: &mut Criterion) {
+    let w = mashup_workflows::srasearch::workflow();
+    c.bench_function("pdc/node_sweep_cached", |b| {
+        b.iter(|| {
+            // Fresh cache per sweep: the win measured here is intra-sweep
+            // reuse (probes shared across node counts), not warm-over-warm.
+            let cache = Arc::new(PlanCache::new());
+            for n in SWEEP_NODES {
+                black_box(
+                    Pdc::new(MashupConfig::aws(n))
+                        .with_cache(cache.clone())
+                        .decide(&w),
+                );
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = pdc_planning;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cold_plan, bench_warm_plan, bench_sweep_uncached, bench_sweep_cached
+}
+criterion_main!(pdc_planning);

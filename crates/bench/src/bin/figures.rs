@@ -5,14 +5,17 @@
 //! cargo run --release -p mashup-bench --bin figures -- fig6    # one figure
 //! cargo run --release -p mashup-bench --bin figures -- --json results/
 //! cargo run --release -p mashup-bench --bin figures -- --jobs 8
+//! cargo run --release -p mashup-bench --bin figures -- --no-plan-cache
 //! ```
 //!
 //! `--jobs N` sets the scenario-sweep worker count (default: one per core);
-//! output is byte-identical for any N.
+//! `--no-plan-cache` disables the shared PDC profiling cache. Output is
+//! byte-identical for any N and with the cache on or off.
 
 use mashup_bench as bench;
 use serde::Serialize;
 use std::io::Write as _;
+use std::time::Instant;
 
 fn emit<T: Serialize>(json_dir: Option<&str>, name: &str, value: &T, rendered: String) {
     println!("==== {name} ====");
@@ -44,10 +47,13 @@ fn main() {
                     std::process::exit(2);
                 });
             bench::set_jobs(n);
+        } else if a == "--no-plan-cache" {
+            bench::set_plan_cache_enabled(false);
         } else {
             wanted.push(a.to_lowercase());
         }
     }
+    let started = Instant::now();
     let all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
     let want = |key: &str| all || wanted.iter().any(|w| w == key);
     let dir = json_dir.as_deref();
@@ -128,4 +134,35 @@ fn main() {
         let f = bench::ablations();
         emit(dir, "ablations", &f, f.render());
     }
+
+    // Suite-level summary: wall time plus what the planning cache did.
+    // Stats go to stderr so they never perturb the figure byte-streams.
+    let wall = started.elapsed().as_secs_f64();
+    if bench::plan_cache_enabled() {
+        let s = bench::plan_cache_stats();
+        eprintln!(
+            "[plan-cache] calibration {}h/{}m  vm-profile {}h/{}m  probes {}h/{}m  \
+             ({} entries, {:.1}% hits overall)",
+            s.calibration.hits,
+            s.calibration.misses,
+            s.vm_profile.hits,
+            s.vm_profile.misses,
+            s.probes.hits,
+            s.probes.misses,
+            s.entries(),
+            if s.hits() + s.misses() == 0 {
+                0.0
+            } else {
+                s.hits() as f64 * 100.0 / (s.hits() + s.misses()) as f64
+            },
+        );
+        eprintln!(
+            "[plan-cache] miss-side planning compute: calibration {:.2}s, \
+             vm-profile {:.2}s, probes {:.2}s (summed across workers)",
+            s.calibration.compute_secs, s.vm_profile.compute_secs, s.probes.compute_secs,
+        );
+    } else {
+        eprintln!("[plan-cache] disabled (--no-plan-cache)");
+    }
+    eprintln!("[figures] total wall time {wall:.2}s");
 }

@@ -4,7 +4,7 @@
 use crate::strategies::{run_strategy, Strategy};
 use crate::sweep::par_map;
 use crate::table::{f1, pct, usd, Table};
-use mashup_core::{improvement_pct, Mashup, MashupConfig, Objective, Pdc, Platform};
+use mashup_core::{improvement_pct, Mashup, MashupConfig, Objective, Platform};
 use mashup_dag::{Task, TaskProfile, Workflow, WorkflowBuilder};
 use mashup_workflows::{epigenomics, genome1000, srasearch};
 use serde::Serialize;
@@ -298,7 +298,11 @@ pub fn fig05_objectives() -> Fig05 {
             ("both", Objective::Both),
         ],
         |(label, obj)| {
-            let o = Mashup::new(cfg.clone()).with_objective(obj).run(&w);
+            let mut engine = Mashup::new(cfg.clone()).with_objective(obj);
+            if let Some(cache) = crate::plan_cache::plan_cache() {
+                engine = engine.with_cache(cache);
+            }
+            let o = engine.run(&w);
             (
                 label.to_string(),
                 o.report.makespan_secs,
@@ -544,17 +548,17 @@ pub fn fig09_placement() -> Fig09 {
                 (
                     "w/o PDC".to_string(),
                     w.task_refs()
-                        .map(|r| naive.platform(r) == Platform::Serverless)
+                        .map(|r| naive.platform(r) == Ok(Platform::Serverless))
                         .collect(),
                 )
             }
             Some(si) => {
                 let n = CLUSTER_SIZES[si];
-                let pdc = Pdc::new(MashupConfig::aws(n)).decide(w);
+                let pdc = crate::plan_cache::cached_pdc(MashupConfig::aws(n)).decide(w);
                 (
                     format!("{n} nodes"),
                     w.task_refs()
-                        .map(|r| pdc.plan.platform(r) == Platform::Serverless)
+                        .map(|r| pdc.plan.platform(r) == Ok(Platform::Serverless))
                         .collect(),
                 )
             }
@@ -1125,7 +1129,7 @@ pub fn text_pdc_accuracy() -> TextPdcAccuracy {
     let mut total = 0usize;
     for w in paper_workflows() {
         let cfg = MashupConfig::aws(DEFAULT_NODES);
-        let pdc = Pdc::new(cfg.clone()).decide(&w);
+        let pdc = crate::plan_cache::cached_pdc(cfg.clone()).decide(&w);
         let vm = run_strategy(&cfg, &w, Strategy::TraditionalTuned);
         for d in &pdc.decisions {
             if d.forced_vm_reason.is_some() {

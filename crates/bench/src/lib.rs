@@ -16,11 +16,13 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod plan_cache;
 pub mod strategies;
 pub mod sweep;
 pub mod table;
 
 pub use ablations::{ablations, AblationRow, Ablations};
 pub use figures::*;
+pub use plan_cache::{plan_cache, plan_cache_enabled, plan_cache_stats, set_plan_cache_enabled};
 pub use strategies::{run_strategy, Strategy};
 pub use sweep::{jobs, par_map, set_jobs};

@@ -1,0 +1,71 @@
+//! The harness's process-wide planning cache.
+//!
+//! Every sweep cell that plans with the PDC (strategy runs, Fig. 9
+//! placement maps, the accuracy table, the ablations) shares one
+//! [`PlanCache`] so profiling work memoized by one cell is reused by every
+//! other cell — across `--jobs N` workers too, since the cache is
+//! concurrent. The cache is enabled by default and can be switched off
+//! (`--no-plan-cache` in the `figures` binary) to measure the uncached
+//! planning cost or to double-check that memoization does not perturb
+//! results: cached and uncached runs are bit-identical by construction
+//! (see `mashup_core::cache`), and `tests/determinism.rs` enforces it.
+
+use mashup_core::{CacheStats, MashupConfig, Pdc, PlanCache};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static CACHE: OnceLock<Arc<PlanCache>> = OnceLock::new();
+
+/// Enables or disables the shared planning cache for subsequent runs.
+/// Disabling does not clear already-stored entries; it only makes
+/// [`plan_cache`] return `None` so planners compute from scratch.
+pub fn set_plan_cache_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// True when the shared planning cache is enabled.
+pub fn plan_cache_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The shared planning cache, or `None` when disabled.
+pub fn plan_cache() -> Option<Arc<PlanCache>> {
+    if !plan_cache_enabled() {
+        return None;
+    }
+    Some(CACHE.get_or_init(|| Arc::new(PlanCache::new())).clone())
+}
+
+/// A planner over `cfg`, wired to the shared cache when it is enabled.
+pub fn cached_pdc(cfg: MashupConfig) -> Pdc {
+    let pdc = Pdc::new(cfg);
+    match plan_cache() {
+        Some(cache) => pdc.with_cache(cache),
+        None => pdc,
+    }
+}
+
+/// Snapshot of the shared cache's counters (zeros if it was never used).
+pub fn plan_cache_stats() -> CacheStats {
+    match CACHE.get() {
+        Some(c) => c.stats(),
+        None => CacheStats::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_returns_none_and_reenabling_restores_it() {
+        // Note: the flag is process-global, so restore it before exiting.
+        set_plan_cache_enabled(false);
+        assert!(plan_cache().is_none());
+        set_plan_cache_enabled(true);
+        let a = plan_cache().expect("enabled");
+        let b = plan_cache().expect("enabled");
+        assert!(Arc::ptr_eq(&a, &b), "same shared instance");
+    }
+}

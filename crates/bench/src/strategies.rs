@@ -61,7 +61,13 @@ pub fn run_strategy(cfg: &MashupConfig, workflow: &Workflow, strategy: Strategy)
         Strategy::Pegasus => run_pegasus(cfg, workflow),
         Strategy::Kepler => run_kepler(cfg, workflow),
         Strategy::MashupWithoutPdc => Mashup::new(cfg.clone()).run_without_pdc(workflow),
-        Strategy::Mashup => Mashup::new(cfg.clone()).run(workflow).report,
+        Strategy::Mashup => {
+            let mut engine = Mashup::new(cfg.clone());
+            if let Some(cache) = crate::plan_cache::plan_cache() {
+                engine = engine.with_cache(cache);
+            }
+            engine.run(workflow).report
+        }
     }
 }
 

@@ -1,5 +1,6 @@
 //! The top-level Mashup engine: PDC + hybrid execution in one call.
 
+use crate::cache::PlanCache;
 use crate::config::MashupConfig;
 use crate::exec::execute;
 use crate::naive::plan_without_pdc;
@@ -7,6 +8,7 @@ use crate::pdc::{Objective, Pdc, PdcReport};
 use crate::report::WorkflowReport;
 use mashup_dag::Workflow;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The result of a full Mashup run: the PDC's reasoning plus the hybrid
 /// execution it drove.
@@ -37,6 +39,7 @@ pub struct MashupOutcome {
 pub struct Mashup {
     cfg: MashupConfig,
     objective: Objective,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl Mashup {
@@ -45,12 +48,20 @@ impl Mashup {
         Mashup {
             cfg,
             objective: Objective::ExecutionTime,
+            cache: None,
         }
     }
 
     /// Builder-style: changes the PDC objective (Fig. 5 study).
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
+        self
+    }
+
+    /// Builder-style: memoizes the PDC's profiling stages in `cache`
+    /// (shareable across engines and threads; see [`PlanCache`]).
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -62,9 +73,11 @@ impl Mashup {
     /// Full pipeline: PDC profiling + decision, then hybrid execution on
     /// the VM configuration the PDC found best.
     pub fn run(&self, workflow: &Workflow) -> MashupOutcome {
-        let pdc = Pdc::new(self.cfg.clone())
-            .with_objective(self.objective)
-            .decide(workflow);
+        let mut pdc = Pdc::new(self.cfg.clone()).with_objective(self.objective);
+        if let Some(cache) = &self.cache {
+            pdc = pdc.with_cache(cache.clone());
+        }
+        let pdc = pdc.decide(workflow);
         let tuned = self.cfg.clone().with_subclusters(pdc.subclusters);
         let report = execute(&tuned, workflow, &pdc.plan, "mashup");
         MashupOutcome { pdc, report }
@@ -132,6 +145,21 @@ mod tests {
         assert_eq!(outcome.report.plan, outcome.pdc.plan);
         assert_eq!(outcome.report.strategy, "mashup");
         assert_eq!(outcome.report.tasks.len(), 2);
+    }
+
+    #[test]
+    fn cached_runs_match_uncached_runs_exactly() {
+        let w = wf();
+        let cfg = MashupConfig::aws(2);
+        let uncached = Mashup::new(cfg.clone()).run(&w);
+        let cache = Arc::new(PlanCache::new());
+        let cold = Mashup::new(cfg.clone()).with_cache(cache.clone()).run(&w);
+        let warm = Mashup::new(cfg).with_cache(cache.clone()).run(&w);
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        let stats = cache.stats();
+        assert!(stats.hits() > 0, "warm run must hit the cache");
+        assert_eq!(stats.misses(), stats.entries());
     }
 
     #[test]

@@ -52,11 +52,12 @@ fn output_locations(w: &Workflow, plan: &PlacementPlan) -> Vec<Vec<OutputLocatio
             (0..phase.tasks.len())
                 .map(|ti| {
                     let r = TaskRef::new(pi, ti);
-                    let serverless_here = plan.platform(r) == Platform::Serverless;
+                    let platform_of = |t: TaskRef| plan.platform(t).expect("plan covers workflow");
+                    let serverless_here = platform_of(r) == Platform::Serverless;
                     let serverless_consumer = w
                         .consumers(r)
                         .iter()
-                        .any(|(c, _)| plan.platform(*c) == Platform::Serverless);
+                        .any(|&(c, _)| platform_of(c) == Platform::Serverless);
                     if serverless_here || serverless_consumer {
                         OutputLocation::Store
                     } else {
@@ -193,7 +194,11 @@ fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize
     let mut next_sub = 0usize;
     for ti in 0..n_tasks {
         let r = TaskRef::new(phase_idx, ti);
-        let platform = driver.borrow().plan.platform(r);
+        let platform = driver
+            .borrow()
+            .plan
+            .platform(r)
+            .expect("plan covers workflow");
         match platform {
             Platform::Serverless => spawn_serverless(sim, &driver, r),
             Platform::VmCluster => {
@@ -218,7 +223,7 @@ fn prewarm_next_phase(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, phase_
                 .iter()
                 .enumerate()
                 .filter(|&(ti, _)| {
-                    d.plan.platform(TaskRef::new(phase_idx + 1, ti)) == Platform::Serverless
+                    d.plan.platform(TaskRef::new(phase_idx + 1, ti)) == Ok(Platform::Serverless)
                 })
                 .filter(|(_, t)| t.components > burst)
                 .map(|(_, t)| {

@@ -21,21 +21,25 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod engine;
 mod exec;
+mod fingerprint;
 mod naive;
 mod pdc;
 mod placement;
 mod report;
 
+pub use cache::{CacheStats, PlanCache, ProbeEntry, SectionStats, VmProfileEntry};
 pub use config::{CloudEnv, MashupConfig};
 pub use engine::{Mashup, MashupOutcome};
 pub use exec::{execute, execute_in};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use naive::plan_without_pdc;
 pub use pdc::{
     calibrate, estimate_serverless_time, fit_gamma, ModelFactors, Objective, Pdc, PdcReport,
     TaskDecision,
 };
-pub use placement::{PlacementPlan, Platform};
+pub use placement::{PlacementPlan, Platform, UnassignedTask};
 pub use report::{improvement_pct, TaskReport, WorkflowReport};

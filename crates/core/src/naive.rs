@@ -46,7 +46,7 @@ mod tests {
         let plan = plan_without_pdc(&MashupConfig::aws(8), &w);
         let by_name = |name: &str| {
             let (r, _) = w.task_by_name(name).expect("exists");
-            plan.platform(r)
+            plan.platform(r).expect("assigned")
         };
         assert_eq!(by_name("narrow"), Platform::VmCluster);
         assert_eq!(by_name("wide"), Platform::Serverless);
@@ -59,6 +59,6 @@ mod tests {
         let w = wf();
         let plan = plan_without_pdc(&MashupConfig::aws(128), &w);
         let (r, _) = w.task_by_name("wide").expect("exists");
-        assert_eq!(plan.platform(r), Platform::VmCluster);
+        assert_eq!(plan.platform(r), Ok(Platform::VmCluster));
     }
 }

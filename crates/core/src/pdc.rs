@@ -24,14 +24,17 @@
 //! * alternative objectives (expense, or equal weight on both) reproduce
 //!   the Fig. 5 study.
 
+use crate::cache::{PlanCache, ProbeEntry, VmProfileEntry};
 use crate::config::{CloudEnv, MashupConfig};
 use crate::exec::execute_in;
+use crate::fingerprint::{Fingerprint, Fingerprinter};
 use crate::placement::{PlacementPlan, Platform};
-use mashup_cloud::{run_task_on_faas, Expense, FaasTaskSpec};
-use mashup_dag::{TaskRef, Workflow};
+use mashup_cloud::{run_task_on_faas, Expense, FaasRunStats, FaasTaskSpec};
+use mashup_dag::{Task, TaskRef, Workflow};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// What the optimizer minimizes (Fig. 5 ablation; the paper's default is
 /// execution time).
@@ -106,6 +109,7 @@ pub struct PdcReport {
 pub struct Pdc {
     cfg: MashupConfig,
     objective: Objective,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl Pdc {
@@ -114,6 +118,7 @@ impl Pdc {
         Pdc {
             cfg,
             objective: Objective::ExecutionTime,
+            cache: None,
         }
     }
 
@@ -123,48 +128,29 @@ impl Pdc {
         self
     }
 
+    /// Builder-style: memoizes the profiling stages in `cache`. Reports are
+    /// bit-identical with or without a cache (see [`crate::cache`]).
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Runs both profiling steps and produces the placement plan.
     pub fn decide(&self, workflow: &Workflow) -> PdcReport {
         // Step 0: calibrate platform factors with no-op micro-batches.
-        let factors = calibrate(&self.cfg);
+        let factors = match &self.cache {
+            Some(c) => c.calibration(self.calibration_key(), || calibrate(&self.cfg)),
+            None => calibrate(&self.cfg),
+        };
 
-        // Step 1: full VM profiling passes (seed-offset so profiling does
-        // not share jitter draws with production runs), one per candidate
-        // sub-cluster split — the PDC keeps the best VM configuration as
-        // the cluster-side baseline (§3 "Optimal VM configuration").
-        let mut profiling_expense = Expense::default();
-        let vm_plan = PlacementPlan::uniform(workflow, Platform::VmCluster);
-        let mut best: Option<(usize, crate::report::WorkflowReport)> = None;
-        // Per-task best VM time across the splits: a task's cluster-side
-        // potential is what the *best-configured* cluster gives it (§3
-        // "Mashup recognizes the most optimal VM configuration") — the
-        // all-in-one run can be polluted by co-scheduled siblings thrashing
-        // the same nodes.
-        let mut best_task_vm: std::collections::HashMap<String, f64> =
-            std::collections::HashMap::new();
-        for k in [1usize, 2, 4] {
-            if k > self.cfg.cluster.nodes {
-                continue;
-            }
-            let tuned = self.cfg.clone().with_subclusters(k);
-            let mut env = CloudEnv::with_seed_offset(&tuned, 0x9e3779b9);
-            let report = execute_in(&mut env, &tuned, workflow, &vm_plan, "pdc-profiling");
-            add_expense(&mut profiling_expense, &report.expense);
-            for t in &report.tasks {
-                let e = best_task_vm.entry(t.name.clone()).or_insert(f64::INFINITY);
-                *e = e.min(t.makespan_secs());
-            }
-            // Hysteresis: a finer split must be clearly (≥5 %) better —
-            // splitting halves every task's node share, so a near-tie is
-            // noise, not signal.
-            let better = best
-                .as_ref()
-                .is_none_or(|(_, b)| report.makespan_secs < b.makespan_secs * 0.95);
-            if better {
-                best = Some((k, report));
-            }
-        }
-        let (subclusters, vm_report) = best.expect("single-cluster split always runs");
+        // Step 1: full VM profiling passes across candidate sub-cluster
+        // splits (memoized on workflow + cluster shape + seed).
+        let vm = match &self.cache {
+            Some(c) => c.vm_profile(self.vm_profile_key(workflow), || {
+                self.run_vm_profile(workflow)
+            }),
+            None => self.run_vm_profile(workflow),
+        };
 
         // Step 2: single-component serverless probes + decisions.
         let faas_cfg = &self.cfg.provider.faas;
@@ -172,7 +158,8 @@ impl Pdc {
         let mut plan = PlacementPlan::new();
         for r in workflow.task_refs() {
             let t = workflow.task(r);
-            let t_vm = *best_task_vm
+            let t_vm = *vm
+                .best_task_vm
                 .get(&t.name)
                 .expect("profiling passes cover every task");
 
@@ -196,7 +183,11 @@ impl Pdc {
                 continue;
             }
 
-            let (probe_secs, probe_busy_secs) = self.probe_single_component(workflow, r);
+            let probe = match &self.cache {
+                Some(c) => c.probe(self.probe_key(r, t), || self.run_probe(workflow, r)),
+                None => self.run_probe(workflow, r),
+            };
+            let (probe_secs, probe_busy_secs) = (probe.probe_secs, probe.probe_busy_secs);
 
             // Short-task rule with the recurring/warm-pool exception.
             let single_runtime = t.profile.compute_secs_serverless() / faas_cfg.core_speed;
@@ -261,10 +252,98 @@ impl Pdc {
             factors,
             decisions,
             plan,
-            profiling_expense,
-            profiling_vm_makespan_secs: vm_report.makespan_secs,
-            subclusters,
+            profiling_expense: vm.expense,
+            profiling_vm_makespan_secs: vm.vm_makespan_secs,
+            subclusters: vm.subclusters,
         }
+    }
+
+    /// Runs the full VM profiling passes, one per candidate sub-cluster
+    /// split (seed-offset so profiling does not share jitter draws with
+    /// production runs) — the PDC keeps the best VM configuration as the
+    /// cluster-side baseline (§3 "Optimal VM configuration").
+    fn run_vm_profile(&self, workflow: &Workflow) -> VmProfileEntry {
+        let mut expense = Expense::default();
+        let vm_plan = PlacementPlan::uniform(workflow, Platform::VmCluster);
+        let mut best: Option<(usize, crate::report::WorkflowReport)> = None;
+        // Per-task best VM time across the splits: a task's cluster-side
+        // potential is what the *best-configured* cluster gives it (§3
+        // "Mashup recognizes the most optimal VM configuration") — the
+        // all-in-one run can be polluted by co-scheduled siblings thrashing
+        // the same nodes.
+        let mut best_task_vm: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for k in [1usize, 2, 4] {
+            if k > self.cfg.cluster.nodes {
+                continue;
+            }
+            let tuned = self.cfg.clone().with_subclusters(k);
+            let mut env = CloudEnv::with_seed_offset(&tuned, 0x9e3779b9);
+            let report = execute_in(&mut env, &tuned, workflow, &vm_plan, "pdc-profiling");
+            add_expense(&mut expense, &report.expense);
+            for t in &report.tasks {
+                let e = best_task_vm.entry(t.name.clone()).or_insert(f64::INFINITY);
+                *e = e.min(t.makespan_secs());
+            }
+            // Hysteresis: a finer split must be clearly (≥5 %) better —
+            // splitting halves every task's node share, so a near-tie is
+            // noise, not signal.
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| report.makespan_secs < b.makespan_secs * 0.95);
+            if better {
+                best = Some((k, report));
+            }
+        }
+        let (subclusters, vm_report) = best.expect("single-cluster split always runs");
+        VmProfileEntry {
+            best_task_vm,
+            subclusters,
+            vm_makespan_secs: vm_report.makespan_secs,
+            expense,
+        }
+    }
+
+    /// Cache key for the calibration stage: seed + FaaS/storage behaviour
+    /// (prices excluded — calibration never reads its own expense) + the
+    /// raw checkpoint margin the no-op specs carry.
+    fn calibration_key(&self) -> u128 {
+        let mut f = Fingerprinter::new("pdc-calibration-v1");
+        f.write_u64(self.cfg.seed);
+        self.cfg.provider.faas.fingerprint(&mut f);
+        self.cfg.provider.storage.fingerprint(&mut f);
+        f.write_f64(self.cfg.checkpoint_margin_secs);
+        f.digest()
+    }
+
+    /// Cache key for the VM profiling stage: the whole workflow + the
+    /// cluster shape (instance price *included*: VM expense accrues at
+    /// charge time inside the pass) + seed. FaaS/storage knobs are
+    /// irrelevant — the pass is all-VM — so pricing/provider sweeps reuse
+    /// it untouched.
+    fn vm_profile_key(&self, workflow: &Workflow) -> u128 {
+        let mut f = Fingerprinter::new("pdc-vm-profile-v1");
+        f.write_u64(self.cfg.seed);
+        self.cfg.cluster.fingerprint(&mut f);
+        workflow.fingerprint(&mut f);
+        f.digest()
+    }
+
+    /// Cache key for one serverless probe: seed + the task's phase index
+    /// (the probe environment's seed offset is phase-derived) + name (the
+    /// FaaS label keys warm pools) + profile + FaaS/storage behaviour + the
+    /// task's resolved checkpoint margin. The cluster is deliberately
+    /// absent, so node-count sweeps reuse every probe.
+    fn probe_key(&self, r: TaskRef, t: &Task) -> u128 {
+        let mut f = Fingerprinter::new("pdc-probe-v1");
+        f.write_u64(self.cfg.seed);
+        f.write_usize(r.phase);
+        f.write_str(&t.name);
+        t.profile.fingerprint(&mut f);
+        self.cfg.provider.faas.fingerprint(&mut f);
+        self.cfg.provider.storage.fingerprint(&mut f);
+        f.write_f64(self.cfg.margin_for(t.profile.checkpoint_bytes));
+        f.digest()
     }
 
     /// Applies the objective to pick a platform.
@@ -301,10 +380,9 @@ impl Pdc {
     }
 
     /// Runs one component of task `r` in a serverless function (its own
-    /// fresh environment) and returns `(wall seconds, busy function
-    /// seconds)`. Checkpoint chains for over-cap tasks are included, so the
-    /// probe already prices the time-cap workaround.
-    fn probe_single_component(&self, workflow: &Workflow, r: TaskRef) -> (f64, f64) {
+    /// fresh environment). Checkpoint chains for over-cap tasks are
+    /// included, so the probe already prices the time-cap workaround.
+    fn run_probe(&self, workflow: &Workflow, r: TaskRef) -> ProbeEntry {
         let t = workflow.task(r);
         let mut env = CloudEnv::with_seed_offset(&self.cfg, 0x51ed2701 ^ (r.phase as u64) << 8);
         env.store
@@ -321,21 +399,31 @@ impl Pdc {
             memory_gb: t.profile.memory_gb,
             checkpoint_margin_secs: self.cfg.margin_for(t.profile.checkpoint_bytes),
         };
-        let out = Rc::new(RefCell::new(None));
-        let o2 = out.clone();
-        let faas = env.faas.clone();
-        let store = env.store.clone();
-        let seeds = env.seeds;
-        env.sim.schedule_now(move |sim| {
-            run_task_on_faas(sim, &faas, &store, spec, &seeds, move |_, stats| {
-                *o2.borrow_mut() = Some(stats);
-            });
-        });
-        env.sim.run();
-        let stats = out.borrow_mut().take().expect("probe completed");
-        let wall = stats.makespan().as_secs();
-        (wall, env.faas.function_seconds())
+        let stats = run_faas_batch(&mut env, spec);
+        ProbeEntry {
+            probe_secs: stats.makespan().as_secs(),
+            probe_busy_secs: env.faas.function_seconds(),
+        }
     }
+}
+
+/// Schedules `spec` on `env`'s FaaS platform, runs the simulation to
+/// completion, and returns the batch stats (shared by the probe and
+/// calibration paths, which only differ in how they build the spec).
+fn run_faas_batch(env: &mut CloudEnv, spec: FaasTaskSpec) -> FaasRunStats {
+    let out = Rc::new(RefCell::new(None));
+    let o2 = out.clone();
+    let faas = env.faas.clone();
+    let store = env.store.clone();
+    let seeds = env.seeds;
+    env.sim.schedule_now(move |sim| {
+        run_task_on_faas(sim, &faas, &store, spec, &seeds, move |_, stats| {
+            *o2.borrow_mut() = Some(stats);
+        });
+    });
+    env.sim.run();
+    let taken = out.borrow_mut().take();
+    taken.expect("FaaS batch completed")
 }
 
 /// Hybrid boundary refinement: a serverless placement forces its VM-side
@@ -392,31 +480,34 @@ fn boundary_tax(
     r: TaskRef,
     delta_secs_per_byte: f64,
 ) -> f64 {
+    // The refinement only runs on plans the decision loop fully populated.
+    let platform_of = |t: TaskRef| plan.platform(t).expect("plan covers workflow");
     let mut extra_bytes = 0.0;
     // Producer side.
     for dep in &workflow.task(r).deps {
         let p = dep.producer;
-        if plan.platform(p) != Platform::VmCluster {
+        if platform_of(p) != Platform::VmCluster {
             continue;
         }
         let other_serverless_consumer = workflow
             .consumers(p)
             .iter()
-            .any(|(c, _)| *c != r && plan.platform(*c) == Platform::Serverless);
+            .any(|&(c, _)| c != r && platform_of(c) == Platform::Serverless);
         if !other_serverless_consumer {
             let pt = workflow.task(p);
             extra_bytes += pt.components as f64 * pt.profile.output_bytes;
         }
     }
     // Consumer side.
-    for (c, _) in workflow.consumers(r) {
-        if plan.platform(c) != Platform::VmCluster {
+    for &(c, _) in workflow.consumers(r) {
+        if platform_of(c) != Platform::VmCluster {
             continue;
         }
-        let other_store_producer =
-            workflow.task(c).deps.iter().any(|dep| {
-                dep.producer != r && plan.platform(dep.producer) == Platform::Serverless
-            });
+        let other_store_producer = workflow
+            .task(c)
+            .deps
+            .iter()
+            .any(|dep| dep.producer != r && platform_of(dep.producer) == Platform::Serverless);
         if !other_store_producer {
             let ct = workflow.task(c);
             extra_bytes += ct.components as f64 * ct.profile.input_bytes;
@@ -525,21 +616,7 @@ fn run_noop_batch(
         memory_gb: 0.1,
         checkpoint_margin_secs: cfg.checkpoint_margin_secs,
     };
-    let out = Rc::new(RefCell::new(None));
-    let o2 = out.clone();
-    let faas = env.faas.clone();
-    let store = env.store.clone();
-    let seeds = env.seeds;
-    env.sim.schedule_now(move |sim| {
-        run_task_on_faas(sim, &faas, &store, spec, &seeds, move |_, stats| {
-            *o2.borrow_mut() = Some(stats);
-        });
-    });
-    env.sim.run();
-    let stats = out
-        .borrow_mut()
-        .take()
-        .expect("calibration batch completed");
+    let stats = run_faas_batch(&mut env, spec);
     BatchStats {
         scaling: stats.scaling_secs(),
         mean_start_latency: stats.cold_start_secs / stats.n_cold.max(1) as f64,

@@ -2,7 +2,6 @@
 
 use mashup_dag::{TaskRef, Workflow};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// The two execution platforms of the hybrid environment.
@@ -23,27 +22,45 @@ impl fmt::Display for Platform {
     }
 }
 
+/// Error returned when a plan is asked about a task it never assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnassignedTask(pub TaskRef);
+
+impl fmt::Display for UnassignedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no placement for task {}", self.0)
+    }
+}
+
+impl std::error::Error for UnassignedTask {}
+
 /// A complete task-to-platform assignment for one workflow.
 ///
-/// Serialized as a list of `(task, platform)` pairs (JSON maps need string
-/// keys, and `TaskRef` is a struct).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Stored as a dense per-phase table indexed by `(phase, task)` — plan
+/// lookups sit on the executor's and PDC's hot paths, and the table shape
+/// is a canonical function of the assignment set, so derived equality is
+/// exact. Serialized as a list of `(task, platform)` pairs (JSON maps need
+/// string keys, and `TaskRef` is a struct) — the same wire format the
+/// `BTreeMap` representation produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 #[serde(from = "Vec<(TaskRef, Platform)>", into = "Vec<(TaskRef, Platform)>")]
 pub struct PlacementPlan {
-    assignments: BTreeMap<TaskRef, Platform>,
+    assignments: Vec<Vec<Option<Platform>>>,
 }
 
 impl From<Vec<(TaskRef, Platform)>> for PlacementPlan {
     fn from(v: Vec<(TaskRef, Platform)>) -> Self {
-        PlacementPlan {
-            assignments: v.into_iter().collect(),
+        let mut plan = PlacementPlan::new();
+        for (r, p) in v {
+            plan.set(r, p);
         }
+        plan
     }
 }
 
 impl From<PlacementPlan> for Vec<(TaskRef, Platform)> {
     fn from(p: PlacementPlan) -> Self {
-        p.assignments.into_iter().collect()
+        p.iter().collect()
     }
 }
 
@@ -51,44 +68,51 @@ impl PlacementPlan {
     /// An empty plan.
     pub fn new() -> Self {
         PlacementPlan {
-            assignments: BTreeMap::new(),
+            assignments: Vec::new(),
         }
     }
 
-    /// A plan putting every task of `w` on `platform`.
+    /// A plan putting every task of `w` on `platform`, pre-sized from the
+    /// workflow's phase shape.
     pub fn uniform(w: &Workflow, platform: Platform) -> Self {
-        let mut plan = Self::new();
-        for r in w.task_refs() {
-            plan.set(r, platform);
+        PlacementPlan {
+            assignments: w
+                .phases
+                .iter()
+                .map(|p| vec![Some(platform); p.tasks.len()])
+                .collect(),
         }
-        plan
     }
 
-    /// Assigns a task.
+    /// Assigns a task, growing the table as needed.
     pub fn set(&mut self, task: TaskRef, platform: Platform) {
-        self.assignments.insert(task, platform);
+        if task.phase >= self.assignments.len() {
+            self.assignments.resize(task.phase + 1, Vec::new());
+        }
+        let row = &mut self.assignments[task.phase];
+        if task.task >= row.len() {
+            row.resize(task.task + 1, None);
+        }
+        row[task.task] = Some(platform);
     }
 
-    /// The platform of `task`. Panics if unassigned (plans produced by the
-    /// PDC or `uniform` always cover every task).
-    pub fn platform(&self, task: TaskRef) -> Platform {
-        *self
-            .assignments
-            .get(&task)
-            .unwrap_or_else(|| panic!("no placement for task {task}"))
+    /// The platform of `task`, or [`UnassignedTask`] when the plan never
+    /// assigned it.
+    pub fn platform(&self, task: TaskRef) -> Result<Platform, UnassignedTask> {
+        self.assignments
+            .get(task.phase)
+            .and_then(|row| row.get(task.task).copied().flatten())
+            .ok_or(UnassignedTask(task))
     }
 
     /// True when every task of `w` has an assignment.
     pub fn covers(&self, w: &Workflow) -> bool {
-        w.task_refs().all(|r| self.assignments.contains_key(&r))
+        w.task_refs().all(|r| self.platform(r).is_ok())
     }
 
     /// Number of tasks assigned to `platform`.
     pub fn count(&self, platform: Platform) -> usize {
-        self.assignments
-            .values()
-            .filter(|&&p| p == platform)
-            .count()
+        self.iter().filter(|&(_, p)| p == platform).count()
     }
 
     /// True if at least one task runs on the VM cluster.
@@ -103,13 +127,11 @@ impl PlacementPlan {
 
     /// Iterates over `(task, platform)` in task order.
     pub fn iter(&self) -> impl Iterator<Item = (TaskRef, Platform)> + '_ {
-        self.assignments.iter().map(|(&r, &p)| (r, p))
-    }
-}
-
-impl Default for PlacementPlan {
-    fn default() -> Self {
-        Self::new()
+        self.assignments.iter().enumerate().flat_map(|(pi, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(ti, p)| p.map(|p| (TaskRef::new(pi, ti), p)))
+        })
     }
 }
 
@@ -141,16 +163,44 @@ mod tests {
         let w = wf();
         let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
         plan.set(TaskRef::new(0, 1), Platform::Serverless);
-        assert_eq!(plan.platform(TaskRef::new(0, 0)), Platform::VmCluster);
-        assert_eq!(plan.platform(TaskRef::new(0, 1)), Platform::Serverless);
+        assert_eq!(plan.platform(TaskRef::new(0, 0)), Ok(Platform::VmCluster));
+        assert_eq!(plan.platform(TaskRef::new(0, 1)), Ok(Platform::Serverless));
         assert!(plan.uses_cluster() && plan.uses_serverless());
     }
 
     #[test]
-    #[should_panic(expected = "no placement")]
-    fn missing_assignment_panics() {
+    fn missing_assignment_is_an_error() {
         let plan = PlacementPlan::new();
-        plan.platform(TaskRef::new(0, 0));
+        let err = plan.platform(TaskRef::new(0, 0)).unwrap_err();
+        assert_eq!(err, UnassignedTask(TaskRef::new(0, 0)));
+        assert_eq!(err.to_string(), "no placement for task P0T0");
+        // Sparse assignments error for the gaps, not just out-of-range.
+        let mut sparse = PlacementPlan::new();
+        sparse.set(TaskRef::new(1, 1), Platform::Serverless);
+        assert!(sparse.platform(TaskRef::new(1, 0)).is_err());
+        assert!(sparse.platform(TaskRef::new(0, 0)).is_err());
+        assert_eq!(
+            sparse.platform(TaskRef::new(1, 1)),
+            Ok(Platform::Serverless)
+        );
+    }
+
+    #[test]
+    fn construction_order_does_not_affect_equality() {
+        let mut a = PlacementPlan::new();
+        a.set(TaskRef::new(0, 0), Platform::VmCluster);
+        a.set(TaskRef::new(1, 2), Platform::Serverless);
+        let mut b = PlacementPlan::new();
+        b.set(TaskRef::new(1, 2), Platform::Serverless);
+        b.set(TaskRef::new(0, 0), Platform::VmCluster);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![
+                (TaskRef::new(0, 0), Platform::VmCluster),
+                (TaskRef::new(1, 2), Platform::Serverless),
+            ]
+        );
     }
 
     #[test]

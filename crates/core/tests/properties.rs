@@ -1,11 +1,12 @@
 //! Property-based tests of the Mashup engine invariants.
 
 use mashup_core::{
-    estimate_serverless_time, execute, fit_gamma, MashupConfig, ModelFactors, PlacementPlan,
-    Platform,
+    estimate_serverless_time, execute, fit_gamma, MashupConfig, ModelFactors, Pdc, PlacementPlan,
+    PlanCache, Platform,
 };
 use mashup_workflows::{generate, SyntheticConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn small_synthetic(seed: u64) -> mashup_dag::Workflow {
     generate(
@@ -105,6 +106,25 @@ proptest! {
         let b = execute(&cfg, &w, &plan, "b");
         prop_assert_eq!(a.makespan_secs, b.makespan_secs);
         prop_assert_eq!(a.expense, b.expense);
+    }
+
+    /// The planning cache is invisible to results: for any synthetic
+    /// workflow, an uncached decision, a cold cached decision, and a warm
+    /// cached decision (every stage a hit) produce the same `PdcReport`.
+    #[test]
+    fn cached_pdc_reports_are_bit_identical_to_uncached(seed in 0u64..20) {
+        let w = small_synthetic(seed);
+        let cfg = MashupConfig::aws(4);
+        let uncached = Pdc::new(cfg.clone()).decide(&w);
+        let cache = Arc::new(PlanCache::new());
+        let cold = Pdc::new(cfg.clone()).with_cache(cache.clone()).decide(&w);
+        let warm = Pdc::new(cfg).with_cache(cache.clone()).decide(&w);
+        prop_assert_eq!(&uncached, &cold);
+        prop_assert_eq!(&uncached, &warm);
+        let stats = cache.stats();
+        // The warm pass must have been served entirely from the cache.
+        prop_assert_eq!(stats.misses(), stats.entries());
+        prop_assert!(stats.hits() >= stats.entries());
     }
 
     /// Cluster expense scales linearly with price for a fixed plan.

@@ -163,11 +163,7 @@ impl WorkflowBuilder {
     /// Starts a new workflow with the given name.
     pub fn new(name: impl Into<String>) -> Self {
         WorkflowBuilder {
-            workflow: Workflow {
-                name: name.into(),
-                phases: Vec::new(),
-                initial_input_bytes: 0.0,
-            },
+            workflow: Workflow::new(name, Vec::new(), 0.0),
         }
     }
 
@@ -204,9 +200,10 @@ impl WorkflowBuilder {
             .push(TaskDep { producer, pattern });
     }
 
-    /// Validates and returns the workflow.
+    /// Validates and returns the workflow with its consumer index built.
     pub fn build(self) -> Result<Workflow, ValidationError> {
         validate(&self.workflow)?;
+        self.workflow.prewarm_consumer_index();
         Ok(self.workflow)
     }
 

@@ -146,12 +146,9 @@ pub fn from_task_graph(
         }
     }
 
-    let workflow = Workflow {
-        name: name.into(),
-        phases,
-        initial_input_bytes,
-    };
+    let workflow = Workflow::new(name, phases, initial_input_bytes);
     validate(&workflow).map_err(GraphError::Invalid)?;
+    workflow.prewarm_consumer_index();
     Ok(workflow)
 }
 

@@ -31,7 +31,7 @@ pub use dot::to_dot;
 pub use graph::{from_task_graph, GraphError, RawEdge};
 pub use pattern::DependencyPattern;
 pub use profile::TaskProfile;
-pub use workflow::{Phase, Task, TaskDep, TaskRef, Workflow};
+pub use workflow::{Phase, Task, TaskDep, TaskRef, Workflow, WorkflowData};
 
 /// Serializes a workflow to pretty-printed JSON.
 pub fn to_json(w: &Workflow) -> String {

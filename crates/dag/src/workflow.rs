@@ -9,6 +9,7 @@ use crate::pattern::DependencyPattern;
 use crate::profile::TaskProfile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Location of a task inside a workflow: `(phase index, task index)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -82,10 +83,84 @@ impl Phase {
     }
 }
 
+/// CSR (compressed sparse row) reverse-adjacency index: for every task,
+/// the contiguous slice of `(consumer, pattern)` edges reading its output.
+/// Tasks are numbered flat in phase-major order; `offsets[flat_id]..
+/// offsets[flat_id + 1]` bounds the task's consumer slice in `entries`.
+#[derive(Debug, Default)]
+struct ConsumerIndex {
+    /// Flat id of the first task of each phase.
+    phase_starts: Vec<u32>,
+    /// Per-producer slice bounds into `entries` (one extra trailing entry).
+    offsets: Vec<u32>,
+    /// All reverse edges, grouped by producer; within a producer, consumers
+    /// appear in phase order and dependency-declaration order (the same
+    /// order the old per-call scan produced).
+    entries: Vec<(TaskRef, DependencyPattern)>,
+}
+
+impl ConsumerIndex {
+    fn build(w: &Workflow) -> Self {
+        let mut phase_starts = Vec::with_capacity(w.phases.len());
+        let mut acc = 0u32;
+        for p in &w.phases {
+            phase_starts.push(acc);
+            acc += p.tasks.len() as u32;
+        }
+        let n = acc as usize;
+        let flat = |r: TaskRef| phase_starts[r.phase] as usize + r.task;
+        let mut edges: Vec<(u32, (TaskRef, DependencyPattern))> = Vec::new();
+        for r in w.task_refs() {
+            for d in &w.task(r).deps {
+                edges.push((flat(d.producer) as u32, (r, d.pattern)));
+            }
+        }
+        // Stable sort groups edges by producer while preserving the
+        // phase-order/declaration-order scan order within each group.
+        edges.sort_by_key(|&(p, _)| p);
+        let mut offsets = vec![0u32; n + 1];
+        for &(p, _) in &edges {
+            offsets[p as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        ConsumerIndex {
+            phase_starts,
+            offsets,
+            entries: edges.into_iter().map(|(_, e)| e).collect(),
+        }
+    }
+
+    fn consumers(&self, producer: TaskRef) -> &[(TaskRef, DependencyPattern)] {
+        let Some(&start) = self.phase_starts.get(producer.phase) else {
+            return &[];
+        };
+        let flat = start as usize + producer.task;
+        if flat + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[flat] as usize..self.offsets[flat + 1] as usize]
+    }
+}
+
+/// Serialized form of a [`Workflow`]: the semantic fields only (the
+/// consumer index is derived state, rebuilt on demand).
+#[derive(Serialize, Deserialize)]
+pub struct WorkflowData {
+    /// Workflow name.
+    pub name: String,
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+    /// Size of the initial input dataset in bytes.
+    pub initial_input_bytes: f64,
+}
+
 /// A scientific workflow: an ordered list of phases. Dependencies always
 /// point from later phases to earlier ones, so the phase order is a valid
 /// topological schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(from = "WorkflowData", into = "WorkflowData")]
 pub struct Workflow {
     /// Workflow name (e.g. `"1000Genome"`).
     pub name: String,
@@ -94,9 +169,72 @@ pub struct Workflow {
     /// Size of the initial input dataset in bytes (informational; initial
     /// tasks additionally declare per-component input bytes).
     pub initial_input_bytes: f64,
+    /// Lazily-built reverse-adjacency index. Built on the first
+    /// [`consumers`](Workflow::consumers) call (or eagerly by the builder);
+    /// dependency edges must not be mutated after that point — clone the
+    /// workflow instead, which resets the index.
+    consumers_cache: OnceLock<ConsumerIndex>,
+}
+
+impl From<WorkflowData> for Workflow {
+    fn from(d: WorkflowData) -> Self {
+        Workflow::new(d.name, d.phases, d.initial_input_bytes)
+    }
+}
+
+impl From<Workflow> for WorkflowData {
+    fn from(w: Workflow) -> Self {
+        WorkflowData {
+            name: w.name,
+            phases: w.phases,
+            initial_input_bytes: w.initial_input_bytes,
+        }
+    }
+}
+
+impl Clone for Workflow {
+    fn clone(&self) -> Self {
+        // The index is cheap to rebuild and cloning is the sanctioned way
+        // to mutate a workflow, so the clone starts with a fresh cache.
+        Workflow::new(
+            self.name.clone(),
+            self.phases.clone(),
+            self.initial_input_bytes,
+        )
+    }
+}
+
+impl PartialEq for Workflow {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.phases == other.phases
+            && self.initial_input_bytes == other.initial_input_bytes
+    }
 }
 
 impl Workflow {
+    /// Assembles a workflow from parts (no validation; see
+    /// [`validate`](crate::validate)).
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>, initial_input_bytes: f64) -> Self {
+        Workflow {
+            name: name.into(),
+            phases,
+            initial_input_bytes,
+            consumers_cache: OnceLock::new(),
+        }
+    }
+
+    /// The reverse-adjacency index, built on first use.
+    fn consumer_index(&self) -> &ConsumerIndex {
+        self.consumers_cache
+            .get_or_init(|| ConsumerIndex::build(self))
+    }
+
+    /// Builds the consumer index now (the builder calls this so fully-built
+    /// workflows never pay the cost on a hot path).
+    pub(crate) fn prewarm_consumer_index(&self) {
+        let _ = self.consumer_index();
+    }
     /// Looks up a task by reference. Panics on an out-of-range reference
     /// (validated workflows never contain one).
     pub fn task(&self, r: TaskRef) -> &Task {
@@ -135,17 +273,10 @@ impl Workflow {
         self.phases.iter().map(|p| p.width()).max().unwrap_or(0)
     }
 
-    /// The tasks that consume a given task's output, with patterns.
-    pub fn consumers(&self, producer: TaskRef) -> Vec<(TaskRef, DependencyPattern)> {
-        let mut out = Vec::new();
-        for r in self.task_refs() {
-            for d in &self.task(r).deps {
-                if d.producer == producer {
-                    out.push((r, d.pattern));
-                }
-            }
-        }
-        out
+    /// The tasks that consume a given task's output, with patterns, in
+    /// phase order. Served from the CSR index (O(1) after the first call).
+    pub fn consumers(&self, producer: TaskRef) -> &[(TaskRef, DependencyPattern)] {
+        self.consumer_index().consumers(producer)
     }
 
     /// Component-level dependencies of `(consumer, comp)`: each entry is a
@@ -262,6 +393,70 @@ mod tests {
         assert!(cons.contains(&(c2, DependencyPattern::AllToAll)));
         // Terminal tasks have no consumers.
         assert!(w.consumers(c1).is_empty());
+    }
+
+    /// Brute-force reverse scan (the pre-CSR implementation), used as the
+    /// oracle for the index.
+    fn scan_consumers(w: &Workflow, producer: TaskRef) -> Vec<(TaskRef, DependencyPattern)> {
+        let mut out = Vec::new();
+        for r in w.task_refs() {
+            for d in &w.task(r).deps {
+                if d.producer == producer {
+                    out.push((r, d.pattern));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn csr_index_matches_brute_force_scan() {
+        let mut b = WorkflowBuilder::new("w");
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 4, TaskProfile::trivial()));
+        let b0 = b.add_task(Task::new("B", 2, TaskProfile::trivial()));
+        b.begin_phase();
+        let c = b.add_task(Task::new("C", 4, TaskProfile::trivial()));
+        let d = b.add_task(Task::new("D", 1, TaskProfile::trivial()));
+        b.depend(c, a, DependencyPattern::OneToOne);
+        b.depend(d, a, DependencyPattern::AllToAll);
+        b.depend(d, b0, DependencyPattern::AllToAll);
+        b.begin_phase();
+        let e = b.add_task(Task::new("E", 1, TaskProfile::trivial()));
+        b.depend(e, c, DependencyPattern::AllToAll);
+        b.depend(e, d, DependencyPattern::OneToOne);
+        let w = b.build().expect("valid");
+        for r in w.task_refs() {
+            assert_eq!(w.consumers(r), scan_consumers(&w, r).as_slice(), "{r}");
+        }
+        // Out-of-range producers have no consumers (matching the old scan).
+        assert!(w.consumers(TaskRef::new(9, 0)).is_empty());
+        assert!(w.consumers(TaskRef::new(0, 9)).is_empty());
+    }
+
+    #[test]
+    fn clone_rebuilds_the_consumer_index() {
+        let w = two_phase();
+        let a = TaskRef::new(0, 0);
+        assert_eq!(w.consumers(a).len(), 1);
+        // Mutate the clone's edges: its fresh index must see the change.
+        let mut w2 = w.clone();
+        w2.phases[1].tasks[0].deps.clear();
+        assert!(w2.consumers(a).is_empty());
+        assert_eq!(w.consumers(a).len(), 1);
+    }
+
+    #[test]
+    fn workflow_serde_round_trip_skips_the_index() {
+        let w = two_phase();
+        let _ = w.consumers(TaskRef::new(0, 0)); // force the index
+        let json = serde_json::to_string(&w).expect("serialize");
+        let back: Workflow = serde_json::from_str(&json).expect("parse");
+        assert_eq!(w, back);
+        assert_eq!(
+            back.consumers(TaskRef::new(0, 0)),
+            w.consumers(TaskRef::new(0, 0))
+        );
     }
 
     #[test]

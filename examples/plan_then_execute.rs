@@ -79,9 +79,11 @@ fn main() {
     });
 
     let plan = outcome.pdc.plan.clone();
-    let report = backend.run(&workflow, move |r| match plan.platform(r) {
-        Platform::Serverless => LocalPlacement::Spawn,
-        Platform::VmCluster => LocalPlacement::Pool,
+    let report = backend.run(&workflow, move |r| {
+        match plan.platform(r).expect("plan covers workflow") {
+            Platform::Serverless => LocalPlacement::Spawn,
+            Platform::VmCluster => LocalPlacement::Pool,
+        }
     });
 
     let digest = backend.store().must_get("out:verify:0");

@@ -61,3 +61,35 @@ fn figure_json_is_byte_identical_across_job_counts() {
     assert_eq!(serial.0, parallel.0, "fig05 JSON depends on --jobs");
     assert_eq!(serial.1, parallel.1, "fig08 JSON depends on --jobs");
 }
+
+#[test]
+fn figure_json_is_byte_identical_with_plan_cache_on_and_off() {
+    // fig05 plans three Mashup objectives (VM profiling + probes shared via
+    // the cache); the accuracy table plans every paper workflow. Both must
+    // serialize identically whether the planning cache is on or off —
+    // memoization is a pure performance layer.
+    bench::set_jobs(1);
+    bench::set_plan_cache_enabled(false);
+    let uncached = (
+        serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize"),
+        serde_json::to_string_pretty(&bench::text_pdc_accuracy()).expect("serialize"),
+    );
+    bench::set_plan_cache_enabled(true);
+    let cached = (
+        serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize"),
+        serde_json::to_string_pretty(&bench::text_pdc_accuracy()).expect("serialize"),
+    );
+    // Run the cached variant twice so the second pass is all warm hits.
+    let warm = (
+        serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize"),
+        serde_json::to_string_pretty(&bench::text_pdc_accuracy()).expect("serialize"),
+    );
+    bench::set_jobs(0);
+    assert_eq!(uncached.0, cached.0, "fig05 JSON depends on the plan cache");
+    assert_eq!(
+        uncached.1, cached.1,
+        "accuracy JSON depends on the plan cache"
+    );
+    assert_eq!(uncached.0, warm.0, "fig05 JSON depends on cache warmth");
+    assert_eq!(uncached.1, warm.1, "accuracy JSON depends on cache warmth");
+}

@@ -91,7 +91,7 @@ fn reports_are_internally_consistent() {
     // Placement plan matches per-task records.
     for t in &r.tasks {
         let (tref, _) = w.task_by_name(&t.name).expect("task exists");
-        assert_eq!(r.plan.platform(tref), t.platform);
+        assert_eq!(r.plan.platform(tref), Ok(t.platform));
     }
 }
 
