@@ -1,0 +1,263 @@
+//! M2xx: placement-plan checks.
+//!
+//! Each error here corresponds to an assertion the hybrid executor would
+//! otherwise hit mid-simulation; the conditions deliberately mirror the
+//! runtime model (`MashupConfig::margin_for`, the FaaS window chaining of
+//! `mashup_cloud::run_task_on_faas`, and the executor's output-location
+//! routing) so the analyzer is exactly as strict as execution — never more.
+
+use crate::diag::{Code, Diagnostic, Location};
+use mashup_cloud::FaasConfig;
+use mashup_dag::{PlacementPlan, Platform, TaskRef, Workflow};
+
+/// Environment facts the plan checks need (a slice of the engine config, so
+/// `mashup-analyze` does not depend on `mashup-core`).
+#[derive(Debug, Clone)]
+pub struct PlanContext<'a> {
+    /// Serverless platform constants.
+    pub faas: &'a FaasConfig,
+    /// VM-side WAN bandwidth to the object store, bytes/sec.
+    pub wan_bps: f64,
+    /// Configured checkpoint margin before the FaaS deadline, seconds.
+    pub checkpoint_margin_secs: f64,
+}
+
+impl PlanContext<'_> {
+    /// The effective checkpoint margin for a task — mirrors
+    /// `MashupConfig::margin_for` (at least the configured margin, widened
+    /// so the checkpoint write fits with 20 % headroom).
+    fn margin_for(&self, checkpoint_bytes: f64) -> f64 {
+        self.checkpoint_margin_secs
+            .max(checkpoint_bytes / self.faas.per_function_bps * 1.2)
+    }
+}
+
+/// Runs every M2xx check of `plan` against `w`, collecting all findings.
+pub fn analyze_plan(w: &Workflow, plan: &PlacementPlan, ctx: &PlanContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for r in w.task_refs() {
+        let t = w.task(r);
+        let loc = Location::Task {
+            phase: r.phase,
+            task: r.task,
+            name: t.name.clone(),
+        };
+        let Ok(platform) = plan.platform(r) else {
+            out.push(
+                Diagnostic::new(
+                    Code::UnassignedTask,
+                    loc,
+                    "plan assigns no platform to this task",
+                )
+                .with_help("every task needs a VM-cluster or serverless assignment"),
+            );
+            continue;
+        };
+        if platform != Platform::Serverless {
+            continue;
+        }
+        if t.profile.memory_gb > ctx.faas.memory_gb {
+            out.push(
+                Diagnostic::new(
+                    Code::FaasMemoryExceeded,
+                    loc.clone(),
+                    format!(
+                        "component needs {:.2} GiB but the function cap is {:.2} GiB",
+                        t.profile.memory_gb, ctx.faas.memory_gb
+                    ),
+                )
+                .with_help("place the task on the VM cluster or raise faas.memory_gb"),
+            );
+        }
+        // M202: can the component finish inside the timeout window, possibly
+        // chaining across invocations via checkpoints?
+        let bps = ctx.faas.per_function_bps;
+        let margin = ctx.margin_for(t.profile.checkpoint_bytes);
+        let window = ctx.faas.timeout_secs - margin;
+        if window <= 0.0 {
+            out.push(
+                Diagnostic::new(
+                    Code::FaasWindowInfeasible,
+                    loc,
+                    format!(
+                        "checkpoint margin {margin:.0}s consumes the whole {:.0}s FaaS timeout",
+                        ctx.faas.timeout_secs
+                    ),
+                )
+                .with_help(
+                    "shrink checkpoint_bytes or checkpoint_margin_secs, or run on the VM cluster",
+                ),
+            );
+            continue;
+        }
+        let compute = t.profile.compute_secs_serverless() / ctx.faas.core_speed;
+        let worst = compute * (1.0 + t.profile.runtime_jitter);
+        let resume_read = t.profile.checkpoint_bytes / bps;
+        if worst > window && window - resume_read <= 0.0 {
+            out.push(
+                Diagnostic::new(
+                    Code::FaasWindowInfeasible,
+                    loc,
+                    format!(
+                        "component needs ~{worst:.0}s (> {window:.0}s window) so it must chain, \
+                         but re-reading the {:.0}-byte checkpoint consumes every resumed window",
+                        t.profile.checkpoint_bytes
+                    ),
+                )
+                .with_help("no forward progress is possible; place the task on the VM cluster"),
+            );
+        }
+    }
+    // M204: hybrid-boundary staging volume. Mirrors the executor's output
+    // routing — a task's output lands in the object store when the task or
+    // any consumer is serverless, and VM tasks exchange store-resident data
+    // over the WAN.
+    if plan.covers(w) {
+        let serverless = |r: TaskRef| plan.platform(r) == Ok(Platform::Serverless);
+        let in_store =
+            |r: TaskRef| serverless(r) || w.consumers(r).iter().any(|&(c, _)| serverless(c));
+        let mut boundary_bytes = 0.0;
+        for r in w.task_refs() {
+            if serverless(r) {
+                continue;
+            }
+            let t = w.task(r);
+            if in_store(r) {
+                boundary_bytes += t.components as f64 * t.profile.output_bytes;
+            }
+            if t.deps.iter().any(|d| in_store(d.producer)) {
+                boundary_bytes += t.components as f64 * t.profile.input_bytes;
+            }
+        }
+        let staging_secs = boundary_bytes / ctx.wan_bps;
+        let threshold = w.critical_path_secs().max(60.0);
+        if staging_secs > threshold {
+            out.push(
+                Diagnostic::new(
+                    Code::BoundaryStaging,
+                    Location::Plan,
+                    format!(
+                        "hybrid boundary moves {:.1} GB over the WAN (~{staging_secs:.0}s of \
+                         staging vs a ~{threshold:.0}s critical path)",
+                        boundary_bytes / 1e9
+                    ),
+                )
+                .with_help("co-locate heavy producer/consumer pairs on one platform"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use mashup_dag::{DependencyPattern, Task, TaskProfile, WorkflowBuilder};
+
+    fn ctx(faas: &FaasConfig) -> PlanContext<'_> {
+        PlanContext {
+            faas,
+            wan_bps: 1.0e9,
+            checkpoint_margin_secs: 30.0,
+        }
+    }
+
+    fn two_phase(profile0: TaskProfile, profile1: TaskProfile) -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.initial_input_bytes(1e9);
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 4, profile0));
+        b.begin_phase();
+        let c = b.add_task(Task::new("B", 1, profile1));
+        b.depend(c, a, DependencyPattern::AllToAll);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn covering_plan_with_modest_tasks_is_silent() {
+        let w = two_phase(TaskProfile::trivial(), TaskProfile::trivial());
+        let faas = FaasConfig::aws_like();
+        for plat in [Platform::VmCluster, Platform::Serverless] {
+            let plan = PlacementPlan::uniform(&w, plat);
+            assert!(analyze_plan(&w, &plan, &ctx(&faas)).is_empty());
+        }
+    }
+
+    #[test]
+    fn unassigned_tasks_are_errors() {
+        let w = two_phase(TaskProfile::trivial(), TaskProfile::trivial());
+        let mut plan = PlacementPlan::new();
+        plan.set(TaskRef::new(0, 0), Platform::VmCluster);
+        let diags = analyze_plan(&w, &plan, &ctx(&FaasConfig::aws_like()));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::UnassignedTask);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn memory_above_function_cap() {
+        let w = two_phase(TaskProfile::trivial().memory(8.0), TaskProfile::trivial());
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let diags = analyze_plan(&w, &plan, &ctx(&FaasConfig::aws_like()));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::FaasMemoryExceeded);
+        // On the VM cluster the same task is fine.
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        assert!(analyze_plan(&w, &plan, &ctx(&FaasConfig::aws_like())).is_empty());
+    }
+
+    #[test]
+    fn infeasible_faas_window_two_ways() {
+        let faas = FaasConfig::aws_like();
+        // (a) margin swallows the timeout: 50 GB checkpoint at 50 MB/s
+        // needs a 1200 s margin against a 900 s timeout.
+        let w = two_phase(
+            TaskProfile::trivial().checkpoint(5.0e10),
+            TaskProfile::trivial(),
+        );
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let diags = analyze_plan(&w, &plan, &ctx(&faas));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::FaasWindowInfeasible);
+        assert!(diags[0].message.contains("consumes the whole"));
+        // (b) chaining needed but the resume re-read eats the window:
+        // 2.5e10 B checkpoint -> margin 600 s, window 300 s, re-read 500 s.
+        let w = two_phase(
+            TaskProfile::trivial().compute(2000.0).checkpoint(2.5e10),
+            TaskProfile::trivial(),
+        );
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let diags = analyze_plan(&w, &plan, &ctx(&faas));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::FaasWindowInfeasible);
+        assert!(diags[0].message.contains("chain"));
+        // Long compute alone is fine — chaining handles it.
+        let w = two_phase(
+            TaskProfile::trivial().compute(2000.0).checkpoint(1.0e6),
+            TaskProfile::trivial(),
+        );
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        assert!(analyze_plan(&w, &plan, &ctx(&faas)).is_empty());
+    }
+
+    #[test]
+    fn heavy_boundary_traffic_warns() {
+        // VM producer writes 4 × 5e10 B read by a serverless consumer:
+        // 200 GB over a 1 GB/s WAN = 200 s >> the 60 s floor.
+        let w = two_phase(
+            TaskProfile::trivial().io(0.0, 5.0e10),
+            TaskProfile::trivial().io(2.0e11, 0.0),
+        );
+        let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        plan.set(TaskRef::new(1, 0), Platform::Serverless);
+        let faas = FaasConfig::aws_like();
+        let diags = analyze_plan(&w, &plan, &ctx(&faas));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::BoundaryStaging);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        // All-VM moves nothing over the WAN.
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        assert!(analyze_plan(&w, &plan, &ctx(&faas)).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Terminal and JSON rendering of diagnostic lists.
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// Renders diagnostics as human-readable terminal lines, ending with a
+/// `N error(s), M warning(s)` summary (or `no diagnostics` when clean).
+pub fn render_pretty(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "no diagnostics\n".to_string();
+    }
+    let mut out = String::new();
+    for d in diags {
+        writeln!(out, "{d}").expect("string writes are infallible");
+        if let Some(help) = &d.help {
+            writeln!(out, "  help: {help}").expect("string writes are infallible");
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    writeln!(
+        out,
+        "{errors} error(s), {} warning(s)",
+        diags.len() - errors
+    )
+    .expect("string writes are infallible");
+    out
+}
+
+/// Renders diagnostics as a pretty-printed JSON array (machine-readable;
+/// stable field names, stable code strings).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s =
+        serde_json::to_string_pretty(diags).expect("diagnostic serialization is infallible");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Location};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                Code::ZeroComponents,
+                Location::Task {
+                    phase: 0,
+                    task: 0,
+                    name: "A".into(),
+                },
+                "task declares zero components",
+            ),
+            Diagnostic::warning(Code::BoundaryStaging, Location::Plan, "heavy boundary")
+                .with_help("co-locate"),
+        ]
+    }
+
+    #[test]
+    fn pretty_lines_and_summary() {
+        let text = render_pretty(&sample());
+        assert!(text.contains("error[M104]: task 'A' (P0T0): task declares zero components"));
+        assert!(text.contains("warning[M204]: plan: heavy boundary"));
+        assert!(text.contains("  help: co-locate"));
+        assert!(text.ends_with("1 error(s), 1 warning(s)\n"));
+        assert_eq!(render_pretty(&[]), "no diagnostics\n");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = render_json(&sample());
+        let back: Vec<Diagnostic> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, sample());
+        assert!(json.contains("\"M204\""));
+        assert!(json.contains("\"kind\": \"plan\""));
+    }
+}

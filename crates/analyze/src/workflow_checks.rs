@@ -1,0 +1,233 @@
+//! M1xx: workflow structure and profile checks.
+//!
+//! Unlike `mashup_dag::validate`, which stops at the first violation, these
+//! checks collect *every* finding so a user fixes a broken workflow in one
+//! round trip.
+
+use crate::diag::{Code, Diagnostic, Location};
+use mashup_dag::Workflow;
+use std::collections::BTreeSet;
+
+fn task_loc(w: &Workflow, phase: usize, task: usize) -> Location {
+    Location::Task {
+        phase,
+        task,
+        name: w.phases[phase].tasks[task].name.clone(),
+    }
+}
+
+/// Runs every M1xx check over `w`, collecting all findings.
+pub fn analyze_workflow(w: &Workflow) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if w.phases.is_empty() {
+        out.push(Diagnostic::new(
+            Code::EmptyStructure,
+            Location::Workflow,
+            "workflow has no phases",
+        ));
+        return out;
+    }
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for (pi, phase) in w.phases.iter().enumerate() {
+        if phase.tasks.is_empty() {
+            out.push(Diagnostic::new(
+                Code::EmptyStructure,
+                Location::Phase { phase: pi },
+                "phase has no tasks",
+            ));
+        }
+        for (ti, task) in phase.tasks.iter().enumerate() {
+            let loc = task_loc(w, pi, ti);
+            if task.components == 0 {
+                out.push(Diagnostic::new(
+                    Code::ZeroComponents,
+                    loc.clone(),
+                    "task declares zero components",
+                ));
+            }
+            if !names.insert(task.name.as_str()) {
+                out.push(Diagnostic::new(
+                    Code::DuplicateTaskName,
+                    loc.clone(),
+                    format!("task name '{}' is already used", task.name),
+                ));
+            }
+            if let Err(detail) = task.profile.validate() {
+                out.push(Diagnostic::new(Code::BadProfile, loc.clone(), detail));
+            }
+            if pi > 0 && task.deps.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Code::OrphanTask,
+                        loc.clone(),
+                        "task is beyond phase 0 but depends on nothing",
+                    )
+                    .with_help("add a dependency on an earlier phase or move the task to phase 0"),
+                );
+            }
+            let mut live_producers = 0usize;
+            let mut producing_output = 0usize;
+            for dep in &task.deps {
+                let exists = dep.producer.phase < w.phases.len()
+                    && dep.producer.task < w.phases[dep.producer.phase].tasks.len();
+                if !exists {
+                    out.push(Diagnostic::new(
+                        Code::DanglingReference,
+                        loc.clone(),
+                        format!("dependency references nonexistent task {}", dep.producer),
+                    ));
+                    continue;
+                }
+                live_producers += 1;
+                let producer = w.task(dep.producer);
+                if producer.profile.output_bytes > 0.0 {
+                    producing_output += 1;
+                }
+                if dep.producer.phase >= pi {
+                    out.push(
+                        Diagnostic::new(
+                            Code::NotEarlierPhase,
+                            loc.clone(),
+                            format!(
+                                "dependency on {} ('{}') is not in an earlier phase",
+                                dep.producer, producer.name
+                            ),
+                        )
+                        .with_help("phase order is the topological schedule; same- or later-phase edges would cycle"),
+                    );
+                } else if let Err(detail) = dep.pattern.check(producer.components, task.components)
+                {
+                    out.push(Diagnostic::new(Code::PatternMismatch, loc.clone(), detail));
+                }
+            }
+            // M108: the task reads bytes nobody provides. Advisory — the
+            // simulator happily moves zero bytes, but the profile is almost
+            // certainly miscalibrated.
+            if task.profile.input_bytes > 0.0 {
+                if task.deps.is_empty() {
+                    if w.initial_input_bytes <= 0.0 {
+                        out.push(
+                            Diagnostic::new(
+                                Code::MissingConsumerData,
+                                loc.clone(),
+                                format!(
+                                    "initial task reads {:.0} bytes/component but the workflow \
+                                     declares no initial input dataset",
+                                    task.profile.input_bytes
+                                ),
+                            )
+                            .with_help("set initial_input_bytes on the workflow"),
+                        );
+                    }
+                } else if live_producers > 0 && producing_output == 0 {
+                    out.push(
+                        Diagnostic::new(
+                            Code::MissingConsumerData,
+                            loc.clone(),
+                            format!(
+                                "task reads {:.0} bytes/component but every producer declares \
+                                 zero output bytes",
+                                task.profile.input_bytes
+                            ),
+                        )
+                        .with_help("set output_bytes on the producer profiles"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashup_dag::{DependencyPattern, Task, TaskProfile, TaskRef, WorkflowBuilder};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn valid_workflow_is_silent() {
+        let mut b = WorkflowBuilder::new("ok");
+        b.initial_input_bytes(1e9);
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 4, TaskProfile::trivial().io(1e6, 1e6)));
+        b.begin_phase();
+        let c = b.add_task(Task::new("B", 1, TaskProfile::trivial().io(4e6, 0.0)));
+        b.depend(c, a, DependencyPattern::AllToAll);
+        let w = b.build().expect("valid");
+        assert!(analyze_workflow(&w).is_empty());
+    }
+
+    #[test]
+    fn empty_workflow_and_empty_phase() {
+        let w = WorkflowBuilder::new("e").build_unchecked();
+        assert_eq!(codes(&analyze_workflow(&w)), vec![Code::EmptyStructure]);
+        let mut b = WorkflowBuilder::new("e2");
+        b.begin_phase();
+        let w = b.build_unchecked();
+        assert_eq!(codes(&analyze_workflow(&w)), vec![Code::EmptyStructure]);
+    }
+
+    #[test]
+    fn collects_multiple_findings_in_one_pass() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.begin_phase();
+        b.add_task(Task::new("A", 0, TaskProfile::trivial())); // M104
+        b.add_task(Task::new("A", 1, TaskProfile::trivial().compute(-1.0))); // M106 + M105
+        b.begin_phase();
+        b.add_task(Task::new("C", 1, TaskProfile::trivial())); // M103
+        let w = b.build_unchecked();
+        let got = codes(&analyze_workflow(&w));
+        assert!(got.contains(&Code::ZeroComponents));
+        assert!(got.contains(&Code::DuplicateTaskName));
+        assert!(got.contains(&Code::BadProfile));
+        assert!(got.contains(&Code::OrphanTask));
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn dependency_findings() {
+        let mut b = WorkflowBuilder::new("deps");
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 3, TaskProfile::trivial()));
+        let x = b.add_task(Task::new("X", 1, TaskProfile::trivial()));
+        b.depend(a, x, DependencyPattern::OneToOne); // M101 (same phase)
+        b.begin_phase();
+        let c = b.add_task(Task::new("C", 2, TaskProfile::trivial()));
+        b.depend(c, TaskRef::new(0, 9), DependencyPattern::OneToOne); // M102
+        b.depend(c, a, DependencyPattern::OneToOne); // M107 (3 -> 2)
+        let w = b.build_unchecked();
+        let got = codes(&analyze_workflow(&w));
+        assert!(got.contains(&Code::NotEarlierPhase));
+        assert!(got.contains(&Code::DanglingReference));
+        assert!(got.contains(&Code::PatternMismatch));
+    }
+
+    #[test]
+    fn missing_consumer_data_is_a_warning() {
+        // Initial task reading with no initial dataset.
+        let mut b = WorkflowBuilder::new("w1");
+        b.begin_phase();
+        b.add_task(Task::new("A", 1, TaskProfile::trivial().io(1e6, 1e6)));
+        let w = b.build().expect("valid");
+        let diags = analyze_workflow(&w);
+        assert_eq!(codes(&diags), vec![Code::MissingConsumerData]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        // Consumer reading from producers that write nothing.
+        let mut b = WorkflowBuilder::new("w2");
+        b.initial_input_bytes(1e9);
+        b.begin_phase();
+        let a = b.add_task(Task::new("A", 2, TaskProfile::trivial()));
+        b.begin_phase();
+        let c = b.add_task(Task::new("B", 2, TaskProfile::trivial().io(5e6, 0.0)));
+        b.depend(c, a, DependencyPattern::OneToOne);
+        let w = b.build().expect("valid");
+        assert_eq!(
+            codes(&analyze_workflow(&w)),
+            vec![Code::MissingConsumerData]
+        );
+    }
+}

@@ -17,6 +17,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod plan_cache;
+pub mod preflight;
 pub mod strategies;
 pub mod sweep;
 pub mod table;
@@ -24,5 +25,6 @@ pub mod table;
 pub use ablations::{ablations, AblationRow, Ablations};
 pub use figures::*;
 pub use plan_cache::{plan_cache, plan_cache_enabled, plan_cache_stats, set_plan_cache_enabled};
+pub use preflight::preflight_paper_inputs;
 pub use strategies::{run_strategy, Strategy};
 pub use sweep::{jobs, par_map, set_jobs};

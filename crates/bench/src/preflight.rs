@@ -1,0 +1,43 @@
+//! Analyzer gate run ahead of the figures harness.
+//!
+//! Every figures cell consumes the paper workflows under the stock engine
+//! configurations; [`preflight_paper_inputs`] runs the static analyzer
+//! over exactly those inputs once, up front, so a bad input refuses the
+//! whole harness with a readable report instead of panicking mid-figure.
+//! The analyzer is read-only — it draws no randomness and touches no
+//! simulation state — so the gate cannot perturb any simulated result.
+
+use mashup_analyze::render_pretty;
+use mashup_core::{preflight, MashupConfig};
+use mashup_workflows::paper_workflows;
+
+/// Statically analyzes every paper workflow under the stock AWS-like
+/// configurations the figures use. `Ok(())` when everything is clean;
+/// `Err` carries a pretty-rendered diagnostic report naming the offending
+/// input.
+pub fn preflight_paper_inputs() -> Result<(), String> {
+    let configs = [MashupConfig::aws(4), MashupConfig::aws(64)];
+    for w in paper_workflows() {
+        for cfg in &configs {
+            if let Err(e) = preflight(cfg, &w, None) {
+                return Err(format!(
+                    "workflow '{}' (cluster of {} nodes):\n{}",
+                    w.name,
+                    cfg.cluster.nodes,
+                    render_pretty(&e.diagnostics)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_inputs_preflight_clean() {
+        assert_eq!(preflight_paper_inputs(), Ok(()));
+    }
+}

@@ -139,7 +139,11 @@ pub fn run_task_on_faas(
     seeds: &SeedSource,
     on_done: impl FnOnce(&mut Simulation, FaasRunStats) + 'static,
 ) {
+    // Analyzer-checked invariant: diagnostic M104 rejects zero-component
+    // tasks before execution reaches this platform.
     assert!(spec.components > 0, "task with zero components");
+    // Analyzer-checked invariant: diagnostic M203 rejects serverless
+    // placements whose memory demand exceeds the function cap.
     assert!(
         spec.memory_gb <= platform.config().memory_gb,
         "task '{}' needs {} GiB but functions cap at {} GiB",
@@ -149,6 +153,9 @@ pub fn run_task_on_faas(
     );
     // A checkpoint written after the margin point must land before the
     // deadline, or the watchdog kills the function mid-checkpoint.
+    // Analyzer-checked invariant: the engine widens the margin to cover the
+    // checkpoint write (`MashupConfig::margin_for`), and diagnostics M302 /
+    // M202 reject margins that devour the timeout window.
     assert!(
         spec.checkpoint_bytes / platform.config().per_function_bps <= spec.checkpoint_margin_secs,
         "task '{}': checkpoint of {} bytes cannot be written within the \
@@ -288,6 +295,8 @@ fn read_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, work
     let cap = ctx.platform.config().per_function_bps;
     let budget_secs = window_end(&ctx, &inv).saturating_since(sim.now()).as_secs();
     let chunk = work.read.min(budget_secs * cap);
+    // Analyzer-checked invariant: diagnostic M202 rejects serverless
+    // placements whose resume-read alone fills the post-margin window.
     assert!(
         chunk > 0.0,
         "task '{}' cannot make read progress within the FaaS window",

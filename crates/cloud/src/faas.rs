@@ -18,6 +18,9 @@ use crate::pricing::FaasConfig;
 use mashup_sim::{SeedSource, SimDuration, SimTime, Simulation};
 use rand::Rng;
 use std::cell::RefCell;
+// Both maps are keyed lookups only (never order-iterated), so hashing
+// order cannot leak into simulated results.
+// lint: allow(hash-collections)
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -55,8 +58,8 @@ struct FaasState {
     tokens: f64,
     last_refill: SimTime,
     // Warm microVMs per code identity: expiry instants.
-    warm_pool: HashMap<String, Vec<SimTime>>,
-    active: HashMap<u64, ActiveInv>,
+    warm_pool: HashMap<String, Vec<SimTime>>, // lint: allow(hash-collections)
+    active: HashMap<u64, ActiveInv>,          // lint: allow(hash-collections)
     next_id: u64,
     // Metrics.
     cold_starts: u64,
@@ -83,8 +86,8 @@ impl FaasPlatform {
             state: Rc::new(RefCell::new(FaasState {
                 tokens: cfg.burst_capacity as f64,
                 last_refill: SimTime::ZERO,
-                warm_pool: HashMap::new(),
-                active: HashMap::new(),
+                warm_pool: Default::default(),
+                active: Default::default(),
                 next_id: 0,
                 cold_starts: 0,
                 warm_starts: 0,
@@ -387,7 +390,7 @@ mod tests {
         // staggered at 1/s: scheduler starts at 0,0,1,2,3 -> ready 1,1,2,3,4.
         assert_eq!(r.len(), 5);
         let mut sorted = r.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         assert!((sorted[0] - 1.0).abs() < 1e-9);
         assert!((sorted[1] - 1.0).abs() < 1e-9);
         assert!((sorted[4] - 4.0).abs() < 1e-9);

@@ -2,10 +2,11 @@
 
 use crate::cache::PlanCache;
 use crate::config::MashupConfig;
-use crate::exec::execute;
+use crate::exec::try_execute;
 use crate::naive::plan_without_pdc;
 use crate::pdc::{Objective, Pdc, PdcReport};
 use crate::report::WorkflowReport;
+use mashup_analyze::AnalysisError;
 use mashup_dag::Workflow;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -72,21 +73,43 @@ impl Mashup {
 
     /// Full pipeline: PDC profiling + decision, then hybrid execution on
     /// the VM configuration the PDC found best.
+    ///
+    /// Panics when the analyzer refuses the inputs; use [`Mashup::try_run`]
+    /// for a typed refusal.
     pub fn run(&self, workflow: &Workflow) -> MashupOutcome {
+        self.try_run(workflow).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Mashup::run`], but refuses error-diagnosed inputs with a
+    /// typed [`AnalysisError`] instead of panicking mid-simulation.
+    pub fn try_run(&self, workflow: &Workflow) -> Result<MashupOutcome, AnalysisError> {
         let mut pdc = Pdc::new(self.cfg.clone()).with_objective(self.objective);
         if let Some(cache) = &self.cache {
             pdc = pdc.with_cache(cache.clone());
         }
-        let pdc = pdc.decide(workflow);
+        let pdc = pdc.try_decide(workflow)?;
         let tuned = self.cfg.clone().with_subclusters(pdc.subclusters);
-        let report = execute(&tuned, workflow, &pdc.plan, "mashup");
-        MashupOutcome { pdc, report }
+        let report = try_execute(&tuned, workflow, &pdc.plan, "mashup")?;
+        Ok(MashupOutcome { pdc, report })
     }
 
     /// Executes with the w/o-PDC threshold plan (paper's "Mashup w/o PDC").
+    ///
+    /// Panics when the analyzer refuses the inputs; use
+    /// [`Mashup::try_run_without_pdc`] for a typed refusal.
     pub fn run_without_pdc(&self, workflow: &Workflow) -> WorkflowReport {
+        self.try_run_without_pdc(workflow)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Mashup::run_without_pdc`], but refuses error-diagnosed inputs
+    /// with a typed [`AnalysisError`] instead of panicking mid-simulation.
+    pub fn try_run_without_pdc(
+        &self,
+        workflow: &Workflow,
+    ) -> Result<WorkflowReport, AnalysisError> {
         let plan = plan_without_pdc(&self.cfg, workflow);
-        execute(&self.cfg, workflow, &plan, "mashup-wo-pdc")
+        try_execute(&self.cfg, workflow, &plan, "mashup-wo-pdc")
     }
 }
 

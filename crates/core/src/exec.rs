@@ -18,6 +18,7 @@
 use crate::config::{CloudEnv, MashupConfig};
 use crate::placement::{PlacementPlan, Platform};
 use crate::report::{TaskReport, WorkflowReport};
+use mashup_analyze::AnalysisError;
 use mashup_cloud::{ClusterTaskSpec, FaasTaskSpec};
 use mashup_dag::{TaskRef, Workflow};
 use mashup_sim::{SimTime, Simulation};
@@ -52,6 +53,7 @@ fn output_locations(w: &Workflow, plan: &PlacementPlan) -> Vec<Vec<OutputLocatio
             (0..phase.tasks.len())
                 .map(|ti| {
                     let r = TaskRef::new(pi, ti);
+                    // Full coverage is guaranteed by diagnostic M201.
                     let platform_of = |t: TaskRef| plan.platform(t).expect("plan covers workflow");
                     let serverless_here = platform_of(r) == Platform::Serverless;
                     let serverless_consumer = w
@@ -92,18 +94,35 @@ struct EnvHandles {
 
 /// Executes `workflow` under `plan` in a fresh environment built from
 /// `cfg`, returning the full report. `strategy` labels the report.
+///
+/// Panics when the analyzer refuses the inputs; use [`try_execute`] for a
+/// typed refusal.
 pub fn execute(
     cfg: &MashupConfig,
     workflow: &Workflow,
     plan: &PlacementPlan,
     strategy: &str,
 ) -> WorkflowReport {
+    try_execute(cfg, workflow, plan, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`execute`], but refuses error-diagnosed inputs with a typed
+/// [`AnalysisError`] instead of panicking mid-simulation.
+pub fn try_execute(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+) -> Result<WorkflowReport, AnalysisError> {
     let mut env = CloudEnv::new(cfg);
-    execute_in(&mut env, cfg, workflow, plan, strategy)
+    try_execute_in(&mut env, cfg, workflow, plan, strategy)
 }
 
 /// Executes in a caller-provided environment (lets the PDC reuse one
 /// environment across probes, and tests inject failure-laden stores).
+///
+/// Panics when the analyzer refuses the inputs; use [`try_execute_in`] for
+/// a typed refusal.
 pub fn execute_in(
     env: &mut CloudEnv,
     cfg: &MashupConfig,
@@ -111,7 +130,33 @@ pub fn execute_in(
     plan: &PlacementPlan,
     strategy: &str,
 ) -> WorkflowReport {
-    assert!(plan.covers(workflow), "plan must assign every task");
+    try_execute_in(env, cfg, workflow, plan, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`execute_in`], but refuses error-diagnosed inputs with a typed
+/// [`AnalysisError`] instead of panicking mid-simulation.
+pub fn try_execute_in(
+    env: &mut CloudEnv,
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+) -> Result<WorkflowReport, AnalysisError> {
+    crate::analysis::preflight(cfg, workflow, Some(plan))?;
+    Ok(execute_in_unchecked(env, cfg, workflow, plan, strategy))
+}
+
+/// The executor proper. Callers arrive through the preflight gate, so the
+/// plan covers the workflow (M201), every serverless task fits the function
+/// memory cap (M203) and the checkpoint-chaining window (M202), and every
+/// profile field is finite and in range (M105).
+fn execute_in_unchecked(
+    env: &mut CloudEnv,
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+) -> WorkflowReport {
     let locations = output_locations(workflow, plan);
 
     if plan.uses_cluster() {
@@ -198,6 +243,7 @@ fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize
             .borrow()
             .plan
             .platform(r)
+            // Full coverage is guaranteed by diagnostic M201.
             .expect("plan covers workflow");
         match platform {
             Platform::Serverless => spawn_serverless(sim, &driver, r),

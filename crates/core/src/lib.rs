@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+mod analysis;
 mod cache;
 mod config;
 mod engine;
@@ -31,11 +32,13 @@ mod pdc;
 mod placement;
 mod report;
 
+pub use analysis::{engine_params, preflight};
 pub use cache::{CacheStats, PlanCache, ProbeEntry, SectionStats, VmProfileEntry};
 pub use config::{CloudEnv, MashupConfig};
 pub use engine::{Mashup, MashupOutcome};
-pub use exec::{execute, execute_in};
+pub use exec::{execute, execute_in, try_execute, try_execute_in};
 pub use fingerprint::{Fingerprint, Fingerprinter};
+pub use mashup_analyze::{AnalysisError, Code, Diagnostic, Location, Severity};
 pub use naive::plan_without_pdc;
 pub use pdc::{
     calibrate, estimate_serverless_time, fit_gamma, ModelFactors, Objective, Pdc, PdcReport,

@@ -135,6 +135,18 @@ impl Pdc {
         self
     }
 
+    /// Like [`Pdc::decide`], but refuses error-diagnosed inputs (M1xx
+    /// workflow and M3xx config checks) with a typed
+    /// [`AnalysisError`](mashup_analyze::AnalysisError) before any
+    /// profiling simulation runs.
+    pub fn try_decide(
+        &self,
+        workflow: &Workflow,
+    ) -> Result<PdcReport, mashup_analyze::AnalysisError> {
+        crate::analysis::preflight(&self.cfg, workflow, None)?;
+        Ok(self.decide(workflow))
+    }
+
     /// Runs both profiling steps and produces the placement plan.
     pub fn decide(&self, workflow: &Workflow) -> PdcReport {
         // Step 0: calibrate platform factors with no-op micro-batches.
@@ -161,6 +173,8 @@ impl Pdc {
             let t_vm = *vm
                 .best_task_vm
                 .get(&t.name)
+                // The profiling passes execute every task exactly once, and
+                // task names are unique (guaranteed by diagnostic M106).
                 .expect("profiling passes cover every task");
 
             // Memory rule: oversized components can never run serverless.
@@ -271,8 +285,8 @@ impl Pdc {
         // "Mashup recognizes the most optimal VM configuration") — the
         // all-in-one run can be polluted by co-scheduled siblings thrashing
         // the same nodes.
-        let mut best_task_vm: std::collections::HashMap<String, f64> =
-            std::collections::HashMap::new();
+        let mut best_task_vm: std::collections::BTreeMap<String, f64> =
+            std::collections::BTreeMap::new();
         for k in [1usize, 2, 4] {
             if k > self.cfg.cluster.nodes {
                 continue;

@@ -138,8 +138,7 @@ impl WorkflowReport {
         let mut rows: Vec<&TaskReport> = self.tasks.iter().collect();
         rows.sort_by(|a, b| {
             a.start_secs
-                .partial_cmp(&b.start_secs)
-                .expect("finite times")
+                .total_cmp(&b.start_secs)
                 .then(a.name.cmp(&b.name))
         });
         for t in rows {

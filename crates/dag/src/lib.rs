@@ -23,6 +23,7 @@ mod builder;
 mod dot;
 mod graph;
 mod pattern;
+mod placement;
 mod profile;
 mod workflow;
 
@@ -30,6 +31,7 @@ pub use builder::{validate, ValidationError, WorkflowBuilder};
 pub use dot::to_dot;
 pub use graph::{from_task_graph, GraphError, RawEdge};
 pub use pattern::DependencyPattern;
+pub use placement::{PlacementPlan, Platform, UnassignedTask};
 pub use profile::TaskProfile;
 pub use workflow::{Phase, Task, TaskDep, TaskRef, Workflow, WorkflowData};
 

@@ -1,0 +1,226 @@
+//! Placement plans: which platform runs each task.
+//!
+//! These types live in `mashup-dag` (rather than the engine crate) so that
+//! plan-consuming tooling — notably the `mashup-analyze` diagnostics — can
+//! reason about placements without depending on the engine.
+
+use crate::workflow::{TaskRef, Workflow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two execution platforms of the hybrid environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Traditional VM-based cluster.
+    VmCluster,
+    /// Serverless (FaaS) platform.
+    Serverless,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::VmCluster => write!(f, "VM"),
+            Platform::Serverless => write!(f, "serverless"),
+        }
+    }
+}
+
+/// Error returned when a plan is asked about a task it never assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnassignedTask(pub TaskRef);
+
+impl fmt::Display for UnassignedTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no placement for task {}", self.0)
+    }
+}
+
+impl std::error::Error for UnassignedTask {}
+
+/// A complete task-to-platform assignment for one workflow.
+///
+/// Stored as a dense per-phase table indexed by `(phase, task)` — plan
+/// lookups sit on the executor's and PDC's hot paths, and the table shape
+/// is a canonical function of the assignment set, so derived equality is
+/// exact. Serialized as a list of `(task, platform)` pairs (JSON maps need
+/// string keys, and `TaskRef` is a struct) — the same wire format the
+/// `BTreeMap` representation produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(from = "Vec<(TaskRef, Platform)>", into = "Vec<(TaskRef, Platform)>")]
+pub struct PlacementPlan {
+    assignments: Vec<Vec<Option<Platform>>>,
+}
+
+impl From<Vec<(TaskRef, Platform)>> for PlacementPlan {
+    fn from(v: Vec<(TaskRef, Platform)>) -> Self {
+        let mut plan = PlacementPlan::new();
+        for (r, p) in v {
+            plan.set(r, p);
+        }
+        plan
+    }
+}
+
+impl From<PlacementPlan> for Vec<(TaskRef, Platform)> {
+    fn from(p: PlacementPlan) -> Self {
+        p.iter().collect()
+    }
+}
+
+impl PlacementPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        PlacementPlan {
+            assignments: Vec::new(),
+        }
+    }
+
+    /// A plan putting every task of `w` on `platform`, pre-sized from the
+    /// workflow's phase shape.
+    pub fn uniform(w: &Workflow, platform: Platform) -> Self {
+        PlacementPlan {
+            assignments: w
+                .phases
+                .iter()
+                .map(|p| vec![Some(platform); p.tasks.len()])
+                .collect(),
+        }
+    }
+
+    /// Assigns a task, growing the table as needed.
+    pub fn set(&mut self, task: TaskRef, platform: Platform) {
+        if task.phase >= self.assignments.len() {
+            self.assignments.resize(task.phase + 1, Vec::new());
+        }
+        let row = &mut self.assignments[task.phase];
+        if task.task >= row.len() {
+            row.resize(task.task + 1, None);
+        }
+        row[task.task] = Some(platform);
+    }
+
+    /// The platform of `task`, or [`UnassignedTask`] when the plan never
+    /// assigned it.
+    pub fn platform(&self, task: TaskRef) -> Result<Platform, UnassignedTask> {
+        self.assignments
+            .get(task.phase)
+            .and_then(|row| row.get(task.task).copied().flatten())
+            .ok_or(UnassignedTask(task))
+    }
+
+    /// True when every task of `w` has an assignment.
+    pub fn covers(&self, w: &Workflow) -> bool {
+        w.task_refs().all(|r| self.platform(r).is_ok())
+    }
+
+    /// Number of tasks assigned to `platform`.
+    pub fn count(&self, platform: Platform) -> usize {
+        self.iter().filter(|&(_, p)| p == platform).count()
+    }
+
+    /// True if at least one task runs on the VM cluster.
+    pub fn uses_cluster(&self) -> bool {
+        self.count(Platform::VmCluster) > 0
+    }
+
+    /// True if at least one task runs serverless.
+    pub fn uses_serverless(&self) -> bool {
+        self.count(Platform::Serverless) > 0
+    }
+
+    /// Iterates over `(task, platform)` in task order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskRef, Platform)> + '_ {
+        self.assignments.iter().enumerate().flat_map(|(pi, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(ti, p)| p.map(|p| (TaskRef::new(pi, ti), p)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::profile::TaskProfile;
+    use crate::workflow::Task;
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        b.begin_phase();
+        b.add_task(Task::new("A", 2, TaskProfile::trivial()));
+        b.add_task(Task::new("B", 3, TaskProfile::trivial()));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn uniform_covers_all_tasks() {
+        let w = wf();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        assert!(plan.covers(&w));
+        assert_eq!(plan.count(Platform::Serverless), 2);
+        assert!(!plan.uses_cluster());
+        assert!(plan.uses_serverless());
+    }
+
+    #[test]
+    fn set_overrides() {
+        let w = wf();
+        let mut plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        plan.set(TaskRef::new(0, 1), Platform::Serverless);
+        assert_eq!(plan.platform(TaskRef::new(0, 0)), Ok(Platform::VmCluster));
+        assert_eq!(plan.platform(TaskRef::new(0, 1)), Ok(Platform::Serverless));
+        assert!(plan.uses_cluster() && plan.uses_serverless());
+    }
+
+    #[test]
+    fn missing_assignment_is_an_error() {
+        let plan = PlacementPlan::new();
+        let err = plan.platform(TaskRef::new(0, 0)).unwrap_err();
+        assert_eq!(err, UnassignedTask(TaskRef::new(0, 0)));
+        assert_eq!(err.to_string(), "no placement for task P0T0");
+        // Sparse assignments error for the gaps, not just out-of-range.
+        let mut sparse = PlacementPlan::new();
+        sparse.set(TaskRef::new(1, 1), Platform::Serverless);
+        assert!(sparse.platform(TaskRef::new(1, 0)).is_err());
+        assert!(sparse.platform(TaskRef::new(0, 0)).is_err());
+        assert_eq!(
+            sparse.platform(TaskRef::new(1, 1)),
+            Ok(Platform::Serverless)
+        );
+    }
+
+    #[test]
+    fn construction_order_does_not_affect_equality() {
+        let mut a = PlacementPlan::new();
+        a.set(TaskRef::new(0, 0), Platform::VmCluster);
+        a.set(TaskRef::new(1, 2), Platform::Serverless);
+        let mut b = PlacementPlan::new();
+        b.set(TaskRef::new(1, 2), Platform::Serverless);
+        b.set(TaskRef::new(0, 0), Platform::VmCluster);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![
+                (TaskRef::new(0, 0), Platform::VmCluster),
+                (TaskRef::new(1, 2), Platform::Serverless),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = wf();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: PlacementPlan = serde_json::from_str(&json).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn platform_display() {
+        assert_eq!(Platform::VmCluster.to_string(), "VM");
+        assert_eq!(Platform::Serverless.to_string(), "serverless");
+    }
+}

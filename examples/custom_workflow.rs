@@ -8,52 +8,9 @@
 
 use mashup::prelude::*;
 
-const EMBEDDED: &str = r#"
-{
-  "name": "protein-screen",
-  "initial_input_bytes": 5e9,
-  "phases": [
-    { "tasks": [ {
-        "name": "Dock",
-        "components": 96,
-        "profile": {
-          "compute_secs_vm": 15.0, "serverless_slowdown": 1.1,
-          "input_bytes": 5e7, "output_bytes": 1e7,
-          "memory_gb": 1.5, "vm_local_contention": 2.0,
-          "runtime_jitter": 0.05, "recurring": false,
-          "checkpoint_bytes": 1e7
-        },
-        "deps": []
-    } ] },
-    { "tasks": [ {
-        "name": "Score",
-        "components": 96,
-        "profile": {
-          "compute_secs_vm": 4.0, "serverless_slowdown": 1.0,
-          "input_bytes": 1e7, "output_bytes": 1e6,
-          "memory_gb": 1.0, "vm_local_contention": 1.0,
-          "runtime_jitter": 0.05, "recurring": false,
-          "checkpoint_bytes": 1e6
-        },
-        "deps": [ { "producer": { "phase": 0, "task": 0 },
-                    "pattern": "OneToOne" } ]
-    } ] },
-    { "tasks": [ {
-        "name": "Rank",
-        "components": 1,
-        "profile": {
-          "compute_secs_vm": 60.0, "serverless_slowdown": 0.9,
-          "input_bytes": 9.6e7, "output_bytes": 1e6,
-          "memory_gb": 2.0, "vm_local_contention": 0.0,
-          "runtime_jitter": 0.03, "recurring": false,
-          "checkpoint_bytes": 5e6
-        },
-        "deps": [ { "producer": { "phase": 1, "task": 0 },
-                    "pattern": "AllToAll" } ]
-    } ] }
-  ]
-}
-"#;
+/// The example definition, also usable directly as a file:
+/// `mashup analyze examples/protein_screen.json`.
+const EMBEDDED: &str = include_str!("protein_screen.json");
 
 fn main() {
     // 1. Load: from a file if given, else the embedded definition.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mashup validate <workflow.json>
+//! mashup analyze  <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N]
 //! mashup dot      <workflow.json>
 //! mashup plan     <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N] [--objective time|expense|both]
 //! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
@@ -30,6 +31,13 @@ fn load_workflow(spec: &str) -> Workflow {
 
 fn die(msg: &str) -> ! {
     eprintln!("mashup: {msg}");
+    std::process::exit(1)
+}
+
+/// Exits with the analyzer's pretty-rendered refusal report.
+fn die_diagnosed(err: &AnalysisError) -> ! {
+    eprintln!("mashup: static analysis refused the input");
+    eprintln!("{}", render_pretty(&err.diagnostics));
     std::process::exit(1)
 }
 
@@ -93,7 +101,7 @@ fn main() {
     let mut argv = std::env::args();
     let _bin = argv.next();
     let Some(cmd) = argv.next() else {
-        die("usage: mashup <validate|dot|plan|run|compare> <workflow> [flags]")
+        die("usage: mashup <validate|analyze|dot|plan|run|compare> <workflow> [flags]")
     };
     match cmd.as_str() {
         "validate" => {
@@ -113,11 +121,25 @@ fn main() {
             let w = load_workflow(&spec);
             print!("{}", mashup::dag::to_dot(&w));
         }
+        "analyze" => {
+            let args = parse_args(argv);
+            let w = load_workflow(&args.workflow);
+            let cfg = MashupConfig::aws(args.nodes);
+            match mashup::engine::preflight(&cfg, &w, None) {
+                Ok(warnings) => {
+                    print!("{}", render_pretty(&warnings));
+                }
+                Err(e) => die_diagnosed(&e),
+            }
+        }
         "plan" => {
             let args = parse_args(argv);
             let w = load_workflow(&args.workflow);
             let cfg = MashupConfig::aws(args.nodes);
-            let pdc = Pdc::new(cfg).with_objective(args.objective).decide(&w);
+            let pdc = Pdc::new(cfg)
+                .with_objective(args.objective)
+                .try_decide(&w)
+                .unwrap_or_else(|e| die_diagnosed(&e));
             println!(
                 "plan for '{}' on {} nodes ({} sub-clusters):",
                 w.name, args.nodes, pdc.subclusters
@@ -143,8 +165,15 @@ fn main() {
             let w = load_workflow(&args.workflow);
             let cfg = MashupConfig::aws(args.nodes);
             let report = match args.strategy.as_str() {
-                "mashup" => Mashup::new(cfg).run(&w).report,
-                "wo-pdc" => Mashup::new(cfg).run_without_pdc(&w),
+                "mashup" => {
+                    Mashup::new(cfg)
+                        .try_run(&w)
+                        .unwrap_or_else(|e| die_diagnosed(&e))
+                        .report
+                }
+                "wo-pdc" => Mashup::new(cfg)
+                    .try_run_without_pdc(&w)
+                    .unwrap_or_else(|e| die_diagnosed(&e)),
                 "traditional" => run_traditional_tuned(&cfg, &w),
                 "serverless" => run_serverless_only(&cfg, &w),
                 "pegasus" => run_pegasus(&cfg, &w),

@@ -8,6 +8,7 @@
 //! * [`dag`] — workflow DAG model (components, tasks, phases, patterns);
 //! * [`workflows`] — the paper's 1000Genome, SRAsearch, and Epigenomics;
 //! * [`cloud`] — simulated VM cluster, FaaS platform, and object store;
+//! * [`analyze`] — static workflow/plan/config diagnostics (M-codes);
 //! * [`engine`] — the Mashup engine: PDC + hybrid executor;
 //! * [`baselines`] — traditional cluster, serverless-only, Pegasus-like,
 //!   Kepler-like;
@@ -25,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub use mashup_analyze as analyze;
 pub use mashup_baselines as baselines;
 pub use mashup_cloud as cloud;
 pub use mashup_core as engine;
@@ -35,6 +37,7 @@ pub use mashup_workflows as workflows;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use mashup_analyze::{render_pretty, AnalysisError, Diagnostic};
     pub use mashup_baselines::{
         run_kepler, run_pegasus, run_serverless_only, run_traditional, run_traditional_tuned,
     };

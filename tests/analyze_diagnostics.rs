@@ -1,0 +1,151 @@
+//! Golden tests for the static analyzer over checked-in fixtures.
+//!
+//! Every diagnostic code must fire on at least one known-bad fixture, and
+//! every good fixture must analyze silent. The rendered pretty and JSON
+//! reports are compared byte-for-byte against goldens under
+//! `tests/analyze_fixtures/golden/`; regenerate them with
+//! `UPDATE_GOLDENS=1 cargo test --test analyze_diagnostics`.
+
+use mashup::analyze::{
+    analyze_config, analyze_plan, analyze_workflow, render_json, render_pretty, Code, Diagnostic,
+    PlanContext,
+};
+use mashup::engine::{engine_params, MashupConfig};
+use mashup::prelude::*;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/analyze_fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+/// Compares `content` against the golden file, or rewrites the golden when
+/// `UPDATE_GOLDENS` is set.
+fn assert_golden(name: &str, content: &str) {
+    let path = fixture_dir().join("golden").join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, content).expect("write golden");
+        return;
+    }
+    let expected =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"));
+    assert_eq!(content, expected, "golden mismatch for {name}");
+}
+
+fn check_goldens(stem: &str, diags: &[Diagnostic]) {
+    assert_golden(&format!("{stem}.pretty"), &render_pretty(diags));
+    assert_golden(&format!("{stem}.json"), &render_json(diags));
+}
+
+fn plan_ctx(cfg: &MashupConfig) -> PlanContext<'_> {
+    PlanContext {
+        faas: &cfg.provider.faas,
+        wan_bps: cfg.cluster.instance.wan_bps,
+        checkpoint_margin_secs: cfg.checkpoint_margin_secs,
+    }
+}
+
+fn codes(diags: &[Diagnostic]) -> BTreeSet<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Every fixture's diagnostics, keyed by the golden stem.
+fn all_fixture_diags() -> Vec<(&'static str, Vec<Diagnostic>)> {
+    let cfg = MashupConfig::aws(4);
+    let bad_workflow: Workflow =
+        serde_json::from_str(&fixture("bad_workflow.json")).expect("parse bad_workflow");
+    let plan_workflow: Workflow =
+        serde_json::from_str(&fixture("plan_workflow.json")).expect("parse plan_workflow");
+    let bad_plan: PlacementPlan =
+        serde_json::from_str(&fixture("bad_plan.json")).expect("parse bad_plan");
+    let partial_plan: PlacementPlan =
+        serde_json::from_str(&fixture("partial_plan.json")).expect("parse partial_plan");
+    let bad_config: MashupConfig =
+        serde_json::from_str(&fixture("bad_config.json")).expect("parse bad_config");
+    vec![
+        ("bad_workflow", analyze_workflow(&bad_workflow)),
+        (
+            "bad_plan",
+            analyze_plan(&plan_workflow, &bad_plan, &plan_ctx(&cfg)),
+        ),
+        (
+            "partial_plan",
+            analyze_plan(&plan_workflow, &partial_plan, &plan_ctx(&cfg)),
+        ),
+        (
+            "bad_config",
+            analyze_config(
+                &bad_config.provider,
+                &bad_config.cluster,
+                &engine_params(&bad_config),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn bad_fixtures_match_goldens() {
+    for (stem, diags) in all_fixture_diags() {
+        assert!(!diags.is_empty(), "{stem} should produce diagnostics");
+        check_goldens(stem, &diags);
+    }
+}
+
+#[test]
+fn every_code_fires_in_at_least_one_fixture() {
+    let mut fired = BTreeSet::new();
+    for (_, diags) in all_fixture_diags() {
+        fired.extend(codes(&diags));
+    }
+    let missing: Vec<Code> = Code::ALL
+        .iter()
+        .copied()
+        .filter(|c| !fired.contains(c))
+        .collect();
+    assert!(missing.is_empty(), "codes never fired: {missing:?}");
+}
+
+#[test]
+fn good_fixtures_are_silent() {
+    let cfg = MashupConfig::aws(4);
+    let good: Workflow =
+        serde_json::from_str(&fixture("good_workflow.json")).expect("parse good_workflow");
+    assert_eq!(analyze_workflow(&good), Vec::new());
+
+    let plan_workflow: Workflow =
+        serde_json::from_str(&fixture("plan_workflow.json")).expect("parse plan_workflow");
+    assert_eq!(analyze_workflow(&plan_workflow), Vec::new());
+    let good_plan: PlacementPlan =
+        serde_json::from_str(&fixture("good_plan.json")).expect("parse good_plan");
+    assert_eq!(
+        analyze_plan(&plan_workflow, &good_plan, &plan_ctx(&cfg)),
+        Vec::new()
+    );
+
+    let good_config: MashupConfig =
+        serde_json::from_str(&fixture("good_config.json")).expect("parse good_config");
+    assert_eq!(
+        analyze_config(
+            &good_config.provider,
+            &good_config.cluster,
+            &engine_params(&good_config)
+        ),
+        Vec::new()
+    );
+}
+
+#[test]
+fn good_fixture_inputs_run_end_to_end() {
+    // The good workflow must not just analyze clean — it must execute.
+    let cfg = MashupConfig::aws(4);
+    let good: Workflow =
+        serde_json::from_str(&fixture("good_workflow.json")).expect("parse good_workflow");
+    let outcome = Mashup::new(cfg).try_run(&good).expect("clean input runs");
+    assert!(outcome.report.makespan_secs > 0.0);
+}

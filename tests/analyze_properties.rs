@@ -1,0 +1,60 @@
+//! Property: a workflow the analyzer passes with zero errors executes
+//! end-to-end without panicking — on the full Mashup engine, a uniform
+//! serverless plan, and a uniform VM-cluster (traditional) plan. The
+//! analyzer's whole contract is that its gate is at least as strong as
+//! every runtime assertion behind it.
+
+use mashup::analyze::has_errors;
+use mashup::engine::{preflight, try_execute};
+use mashup::prelude::*;
+use mashup_workflows::{generate, SyntheticConfig};
+use proptest::prelude::*;
+
+fn small_synthetic(seed: u64) -> Workflow {
+    generate(
+        &SyntheticConfig {
+            phases: 3,
+            tasks_per_phase: (1, 2),
+            component_choices: vec![1, 4, 16, 48],
+            compute_secs: (1.0, 60.0),
+            io_bytes: (1.0e5, 5.0e7),
+            slowdown: (0.8, 1.8),
+            recurring_prob: 0.2,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Analyzer-clean workflows execute under every strategy. The typed
+    /// `try_*` APIs may refuse (that is their job) but must never panic,
+    /// and an accepted run must produce a positive makespan.
+    #[test]
+    fn clean_workflows_execute_without_panicking(seed in 0u64..1000) {
+        let w = small_synthetic(seed);
+        let cfg = MashupConfig::aws(4);
+        let warnings = preflight(&cfg, &w, None).expect("synthetic workflows analyze clean");
+        prop_assert!(!has_errors(&warnings));
+
+        // Traditional: uniform VM plan must both pass the gate and run.
+        let vm_plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let report = try_execute(&cfg, &w, &vm_plan, "traditional")
+            .expect("uniform VM plan is always executable");
+        prop_assert!(report.makespan_secs > 0.0);
+
+        // Serverless-only: the gate may refuse the plan (typed error), but
+        // an accepted plan must run to completion.
+        let sl_plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        match try_execute(&cfg, &w, &sl_plan, "serverless-only") {
+            Ok(report) => prop_assert!(report.makespan_secs > 0.0),
+            Err(e) => prop_assert!(e.errors().count() > 0),
+        }
+
+        // Full Mashup: PDC decisions over a clean workflow must yield an
+        // executable plan.
+        let outcome = Mashup::new(cfg).try_run(&w).expect("PDC plan executes");
+        prop_assert!(outcome.report.makespan_secs > 0.0);
+    }
+}

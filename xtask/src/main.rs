@@ -1,0 +1,289 @@
+//! `cargo xtask` — workspace development tasks.
+//!
+//! The only task so far is `lint`, a determinism pass over the
+//! simulation-facing crates (`crates/sim`, `crates/cloud`, `crates/core`).
+//! Simulated results must be a pure function of configuration + seed, so
+//! source constructs whose behaviour varies run-to-run are banned there:
+//!
+//! * **wall-clock** — `std::time::Instant` / `std::time::SystemTime`:
+//!   wall-clock reads differ per run; simulated time comes from the event
+//!   queue (`mashup_sim::SimTime`) only.
+//! * **hash-collections** — `std::collections::{HashMap, HashSet}`: their
+//!   iteration order is randomized per process, so any order-dependent use
+//!   leaks nondeterminism. Use `BTreeMap`/`BTreeSet`, or index by dense
+//!   ids.
+//! * **ambient-rng** — `thread_rng`, `rand::random`, `from_entropy`,
+//!   `OsRng`: randomness must flow from the seeded `SeedSource` streams.
+//!
+//! A genuinely safe use (a keyed-lookup-only map, an observability timer)
+//! is exempted by a `// lint: allow(<rule>)` comment on the same line or
+//! the directly preceding comment line, ideally with a justification.
+//! The lint is textual by design: it needs no dependencies, runs in
+//! milliseconds, and a substring match is the right sensitivity for
+//! constructs that should be rare enough to justify a comment each.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One banned-construct family.
+struct Rule {
+    /// Name used in `lint: allow(<name>)` escapes and in reports.
+    name: &'static str,
+    /// Substrings whose presence flags a line.
+    patterns: &'static [&'static str],
+    /// One-line rationale shown with each violation.
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        patterns: &[
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant::now",
+            "SystemTime::now",
+        ],
+        why: "simulated time must come from the event queue, not the host clock",
+    },
+    Rule {
+        name: "hash-collections",
+        patterns: &["HashMap", "HashSet"],
+        why: "hash iteration order is randomized per process; use BTreeMap/BTreeSet",
+    },
+    Rule {
+        name: "ambient-rng",
+        patterns: &["thread_rng", "rand::random", "from_entropy", "OsRng"],
+        why: "randomness must flow from the seeded SeedSource streams",
+    },
+];
+
+/// The crates whose `src/` trees the determinism lint covers.
+const LINTED_DIRS: &[&str] = &["crates/sim/src", "crates/cloud/src", "crates/core/src"];
+
+/// A single flagged line.
+#[derive(Debug, PartialEq)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    text: String,
+}
+
+/// Whether `line` (or the directly preceding comment line) carries the
+/// escape hatch for `rule`.
+fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    if lines[idx].contains(&marker) {
+        return true;
+    }
+    idx > 0 && {
+        let prev = lines[idx - 1].trim_start();
+        prev.starts_with("//") && prev.contains(&marker)
+    }
+}
+
+/// Scans one file's source text, appending violations.
+fn scan_source(path: &Path, source: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = source.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        for rule in RULES {
+            if rule.patterns.iter().any(|p| line.contains(p)) && !allowed(&lines, idx, rule.name) {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: rule.name,
+                    text: line.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively scans every `.rs` file under `dir`.
+fn scan_dir(dir: &Path, out: &mut Vec<Violation>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            scan_dir(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source = std::fs::read_to_string(&path)?;
+            scan_source(&path, &source, out);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the determinism lint over the workspace rooted at `root`.
+fn lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    for dir in LINTED_DIRS {
+        let dir = root.join(dir);
+        scan_dir(&dir, &mut violations).map_err(|e| format!("cannot scan {dir:?}: {e}"))?;
+    }
+    Ok(violations)
+}
+
+fn rule(name: &str) -> &'static Rule {
+    RULES.iter().find(|r| r.name == name).expect("known rule")
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1);
+    match task.as_deref() {
+        Some("lint") => {
+            // xtask lives at <root>/xtask, so the workspace root is its
+            // manifest directory's parent.
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .expect("xtask sits inside the workspace")
+                .to_path_buf();
+            let violations = match lint(&root) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if violations.is_empty() {
+                println!(
+                    "xtask lint: clean ({} rules over {})",
+                    RULES.len(),
+                    LINTED_DIRS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            for v in &violations {
+                let rel = v.file.strip_prefix(&root).unwrap_or(&v.file);
+                eprintln!(
+                    "{}:{}: [{}] {}\n    {}",
+                    rel.display(),
+                    v.line,
+                    v.rule,
+                    rule(v.rule).why,
+                    v.text
+                );
+            }
+            eprintln!(
+                "xtask lint: {} violation(s); exempt safe uses with \
+                 `// lint: allow(<rule>)` on or directly above the line",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task '{other}' (available: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask <lint>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(source: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        scan_source(Path::new("test.rs"), source, &mut out);
+        out
+    }
+
+    #[test]
+    fn each_rule_fires_on_a_seeded_violation() {
+        let seeded = [
+            ("wall-clock", "let t = std::time::Instant::now();"),
+            ("wall-clock", "let t = SystemTime::now();"),
+            ("hash-collections", "use std::collections::HashMap;"),
+            (
+                "hash-collections",
+                "let s: HashSet<u32> = Default::default();",
+            ),
+            ("ambient-rng", "let mut rng = thread_rng();"),
+            ("ambient-rng", "let x: f64 = rand::random();"),
+        ];
+        for (rule, line) in seeded {
+            let hits = scan_str(line);
+            assert!(
+                hits.iter().any(|v| v.rule == rule),
+                "{rule} did not fire on {line:?}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_source_has_no_violations() {
+        let src = "use std::collections::BTreeMap;\nlet t = sim.now();\n";
+        assert_eq!(scan_str(src), Vec::new());
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "let m: HashMap<u32, u32> = x; // lint: allow(hash-collections)\n";
+        assert_eq!(scan_str(src), Vec::new());
+    }
+
+    #[test]
+    fn preceding_comment_allow_suppresses() {
+        let src = "// keyed lookups only; lint: allow(hash-collections)\n\
+                   use std::collections::HashMap;\n";
+        assert_eq!(scan_str(src), Vec::new());
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "// lint: allow(wall-clock)\nuse std::collections::HashMap;\n";
+        assert_eq!(scan_str(src).len(), 1);
+    }
+
+    #[test]
+    fn allow_on_a_distant_line_does_not_suppress() {
+        let src = "// lint: allow(hash-collections)\n\nuse std::collections::HashMap;\n";
+        assert_eq!(scan_str(src).len(), 1);
+    }
+
+    #[test]
+    fn violation_carries_location_and_rule() {
+        let src = "fn f() {}\nlet t = Instant::now();\n";
+        let hits = scan_str(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn seeded_violation_in_a_linted_tree_fails_the_lint() {
+        // End-to-end negative test: a fresh tree shaped like the workspace
+        // with one bad file must come back non-empty.
+        let dir = std::env::temp_dir().join(format!("xtask-lint-negative-{}", std::process::id()));
+        let sim_src = dir.join("crates/sim/src");
+        std::fs::create_dir_all(&sim_src).expect("create temp tree");
+        for d in ["crates/cloud/src", "crates/core/src"] {
+            std::fs::create_dir_all(dir.join(d)).expect("create temp tree");
+        }
+        std::fs::write(
+            sim_src.join("bad.rs"),
+            "use std::time::SystemTime;\nfn now() { SystemTime::now(); }\n",
+        )
+        .expect("write seeded violation");
+        let violations = lint(&dir).expect("scan succeeds");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("workspace root");
+        let violations = lint(root).expect("scan succeeds");
+        assert_eq!(violations, Vec::new());
+    }
+}
