@@ -10,7 +10,9 @@
 //! serverless, no external storage.
 
 use mashup_cloud::ClusterTaskSpec;
-use mashup_core::{CloudEnv, MashupConfig, PlacementPlan, Platform, TaskReport, WorkflowReport};
+use mashup_core::{
+    CloudEnv, MashupConfig, PlacementPlan, Platform, TaskReport, TraceEvent, Tracer, WorkflowReport,
+};
 use mashup_dag::{TaskRef, Workflow};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -26,11 +28,23 @@ struct Driver {
     cluster: mashup_cloud::VmCluster,
     subclusters: usize,
     next_sub: usize,
+    tracer: Tracer,
 }
 
 /// Runs the workflow with dataflow-fired task scheduling on the cluster.
 pub fn run_kepler(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
+    run_kepler_traced(cfg, workflow, &Tracer::off())
+}
+
+/// [`run_kepler`] with a flight recorder attached to the environment and
+/// the dataflow driver (task start/end events carry the firing order).
+pub fn run_kepler_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    tracer: &Tracer,
+) -> WorkflowReport {
     let mut env = CloudEnv::new(cfg);
+    env.attach_tracer(tracer.clone());
     env.cluster.start_billing(env.sim.now());
 
     let mut pending_deps = HashMap::new();
@@ -46,6 +60,7 @@ pub fn run_kepler(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
         cluster: env.cluster.clone(),
         subclusters: cfg.cluster.subclusters,
         next_sub: 0,
+        tracer: tracer.clone(),
     }));
 
     // Fire every dependency-free task immediately.
@@ -105,9 +120,23 @@ fn spawn(sim: &mut mashup_sim::Simulation, driver: Rc<RefCell<Driver>>, r: TaskR
     };
     let driver2 = driver.clone();
     let name = driver.borrow().workflow.task(r).name.clone();
+    {
+        let d = driver.borrow();
+        d.tracer.emit(
+            sim.now(),
+            TraceEvent::TaskStart {
+                task: name.clone(),
+                phase: r.phase,
+                platform: "vm".into(),
+                components: spec.components,
+            },
+        );
+    }
     cluster.run_task(sim, None, spec, move |sim, stats| {
         let newly_ready: Vec<TaskRef> = {
             let mut d = driver2.borrow_mut();
+            d.tracer
+                .emit(sim.now(), TraceEvent::TaskEnd { task: name.clone() });
             let t_components = d.workflow.task(r).components;
             d.reports.push(TaskReport {
                 name,

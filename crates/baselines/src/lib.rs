@@ -11,7 +11,10 @@
 //! * [`run_kepler`] — Kepler-like: dataflow-fired task pipelining on VMs.
 //!
 //! All four return the same [`mashup_core::WorkflowReport`] as Mashup, so
-//! the bench harness compares them uniformly.
+//! the bench harness compares them uniformly. Every baseline also has a
+//! `*_traced` variant that records the execution into a
+//! [`mashup_core::Tracer`] flight recorder — the traced run is always
+//! byte-identical to the untraced one.
 
 #![warn(missing_docs)]
 
@@ -20,7 +23,9 @@ mod pegasus;
 mod serverless_only;
 mod traditional;
 
-pub use kepler::run_kepler;
-pub use pegasus::{cluster_tasks, run_pegasus};
-pub use serverless_only::run_serverless_only;
-pub use traditional::{run_traditional, run_traditional_tuned};
+pub use kepler::{run_kepler, run_kepler_traced};
+pub use pegasus::{cluster_tasks, run_pegasus, run_pegasus_traced};
+pub use serverless_only::{run_serverless_only, run_serverless_only_traced};
+pub use traditional::{
+    run_traditional, run_traditional_traced, run_traditional_tuned, run_traditional_tuned_traced,
+};

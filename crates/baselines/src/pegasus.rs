@@ -17,7 +17,7 @@
 //! paper notes both incur similar overhead, so reports exclude it for every
 //! engine alike. It is serverless-agnostic: everything runs on the cluster.
 
-use mashup_core::{execute, MashupConfig, PlacementPlan, Platform, WorkflowReport};
+use mashup_core::{execute_traced, MashupConfig, PlacementPlan, Platform, Tracer, WorkflowReport};
 use mashup_dag::{DependencyPattern, Task, TaskDep, Workflow};
 
 /// Target duration of a clustered job, seconds. Groups of short components
@@ -124,9 +124,20 @@ fn group_size(compute_secs: f64, components: usize, max_parallel: usize) -> usiz
 
 /// Runs the Pegasus-like engine: clustering transform, then VM execution.
 pub fn run_pegasus(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
+    run_pegasus_traced(cfg, workflow, &Tracer::off())
+}
+
+/// [`run_pegasus`] with a flight recorder attached. Clustered jobs keep
+/// their task names, so the trace's task events line up with the original
+/// workflow.
+pub fn run_pegasus_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    tracer: &Tracer,
+) -> WorkflowReport {
     let clustered = cluster_tasks(workflow, cfg.cluster.total_slots());
     let plan = PlacementPlan::uniform(&clustered, Platform::VmCluster);
-    let mut report = execute(cfg, &clustered, &plan, "pegasus");
+    let mut report = execute_traced(cfg, &clustered, &plan, "pegasus", tracer);
     report.workflow = workflow.name.clone();
     report
 }

@@ -10,7 +10,7 @@
 //! [`run_serverless_only`] asserts the same so an impossible configuration
 //! fails loudly instead of silently falling back.
 
-use mashup_core::{execute, MashupConfig, PlacementPlan, Platform, WorkflowReport};
+use mashup_core::{execute_traced, MashupConfig, PlacementPlan, Platform, Tracer, WorkflowReport};
 use mashup_dag::Workflow;
 
 /// Runs the workflow entirely on the serverless platform.
@@ -18,6 +18,15 @@ use mashup_dag::Workflow;
 /// Panics if any task's memory footprint exceeds the function cap — such a
 /// workflow has no serverless-only execution at all.
 pub fn run_serverless_only(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
+    run_serverless_only_traced(cfg, workflow, &Tracer::off())
+}
+
+/// [`run_serverless_only`] with a flight recorder attached.
+pub fn run_serverless_only_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    tracer: &Tracer,
+) -> WorkflowReport {
     // Pre-warming is one of Mashup's §3 mitigations, not part of the naive
     // serverless-only baseline: functions here pay their cold starts.
     let mut cfg = cfg.clone();
@@ -34,7 +43,7 @@ pub fn run_serverless_only(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowR
         );
     }
     let plan = PlacementPlan::uniform(workflow, Platform::Serverless);
-    execute(cfg, workflow, &plan, "serverless-only")
+    execute_traced(cfg, workflow, &plan, "serverless-only", tracer)
 }
 
 #[cfg(test)]

@@ -11,20 +11,41 @@
 //! approach more competitive." [`run_traditional_tuned`] reproduces that by
 //! searching over sub-cluster splits and keeping the best.
 
-use mashup_core::{execute, MashupConfig, PlacementPlan, Platform, WorkflowReport};
+use mashup_core::{execute_traced, MashupConfig, PlacementPlan, Platform, Tracer, WorkflowReport};
 use mashup_dag::Workflow;
 
 /// Runs the workflow entirely on the configured VM cluster.
 pub fn run_traditional(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
+    run_traditional_traced(cfg, workflow, &Tracer::off())
+}
+
+/// [`run_traditional`] with a flight recorder attached to the execution.
+pub fn run_traditional_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    tracer: &Tracer,
+) -> WorkflowReport {
     let plan = PlacementPlan::uniform(workflow, Platform::VmCluster);
-    execute(cfg, workflow, &plan, "traditional")
+    execute_traced(cfg, workflow, &plan, "traditional", tracer)
 }
 
 /// Runs the traditional baseline under each sub-cluster split in `splits`
 /// (clamped to the node count) and returns the best-makespan report — the
 /// paper's strengthened baseline.
 pub fn run_traditional_tuned(cfg: &MashupConfig, workflow: &Workflow) -> WorkflowReport {
-    let mut best: Option<WorkflowReport> = None;
+    run_traditional_tuned_traced(cfg, workflow, &Tracer::off())
+}
+
+/// [`run_traditional_tuned`] with a flight recorder. The split search runs
+/// unrecorded (its rejected candidates are not part of the chosen
+/// execution); the winning split is re-run traced, which — execution being
+/// deterministic — reproduces the winning report exactly.
+pub fn run_traditional_tuned_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    tracer: &Tracer,
+) -> WorkflowReport {
+    let mut best: Option<(usize, WorkflowReport)> = None;
     for k in [1usize, 2, 4] {
         if k > cfg.cluster.nodes {
             continue;
@@ -34,13 +55,17 @@ pub fn run_traditional_tuned(cfg: &MashupConfig, workflow: &Workflow) -> Workflo
         // Same hysteresis as the PDC: a finer split must clearly win.
         let better = match &best {
             None => true,
-            Some(b) => report.makespan_secs < b.makespan_secs * 0.95,
+            Some((_, b)) => report.makespan_secs < b.makespan_secs * 0.95,
         };
         if better {
-            best = Some(report);
+            best = Some((k, report));
         }
     }
-    best.expect("at least the single-cluster split always runs")
+    let (k, report) = best.expect("at least the single-cluster split always runs");
+    if !tracer.is_on() {
+        return report;
+    }
+    run_traditional_traced(&cfg.clone().with_subclusters(k), workflow, tracer)
 }
 
 #[cfg(test)]

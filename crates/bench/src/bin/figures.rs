@@ -6,11 +6,14 @@
 //! cargo run --release -p mashup-bench --bin figures -- --json results/
 //! cargo run --release -p mashup-bench --bin figures -- --jobs 8
 //! cargo run --release -p mashup-bench --bin figures -- --no-plan-cache
+//! cargo run --release -p mashup-bench --bin figures -- --trace-dir traces/
 //! ```
 //!
 //! `--jobs N` sets the scenario-sweep worker count (default: one per core);
-//! `--no-plan-cache` disables the shared PDC profiling cache. Output is
-//! byte-identical for any N and with the cache on or off.
+//! `--no-plan-cache` disables the shared PDC profiling cache; `--trace-dir
+//! DIR` additionally records every strategy run as a JSONL flight-recorder
+//! trace under DIR. Output is byte-identical for any N, with the cache on
+//! or off, and with or without tracing.
 
 use mashup_bench as bench;
 use serde::Serialize;
@@ -56,6 +59,12 @@ fn main() {
             bench::set_jobs(n);
         } else if a == "--no-plan-cache" {
             bench::set_plan_cache_enabled(false);
+        } else if a == "--trace-dir" {
+            let dir = it.next().unwrap_or_else(|| {
+                eprintln!("--trace-dir requires a directory");
+                std::process::exit(2);
+            });
+            bench::set_trace_dir(std::path::Path::new(&dir));
         } else {
             wanted.push(a.to_lowercase());
         }

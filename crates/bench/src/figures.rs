@@ -302,7 +302,19 @@ pub fn fig05_objectives() -> Fig05 {
             if let Some(cache) = crate::plan_cache::plan_cache() {
                 engine = engine.with_cache(cache);
             }
-            let o = engine.run(&w);
+            let tracer = if crate::trace_dir::trace_dir().is_some() {
+                mashup_core::Tracer::new()
+            } else {
+                mashup_core::Tracer::off()
+            };
+            let o = engine.with_tracer(tracer.clone()).run(&w);
+            if tracer.is_on() {
+                crate::trace_dir::write_trace(
+                    &o.report.workflow,
+                    &format!("mashup-{label}"),
+                    &tracer.take(),
+                );
+            }
             (
                 label.to_string(),
                 o.report.makespan_secs,

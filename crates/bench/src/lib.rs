@@ -21,10 +21,12 @@ pub mod preflight;
 pub mod strategies;
 pub mod sweep;
 pub mod table;
+pub mod trace_dir;
 
 pub use ablations::{ablations, AblationRow, Ablations};
 pub use figures::*;
 pub use plan_cache::{plan_cache, plan_cache_enabled, plan_cache_stats, set_plan_cache_enabled};
 pub use preflight::preflight_paper_inputs;
-pub use strategies::{run_strategy, Strategy};
+pub use strategies::{run_strategy, run_strategy_traced, Strategy};
 pub use sweep::{jobs, par_map, set_jobs};
+pub use trace_dir::{set_trace_dir, trace_dir};

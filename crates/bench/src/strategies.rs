@@ -1,9 +1,10 @@
 //! Uniform access to every execution strategy under comparison.
 
 use mashup_baselines::{
-    run_kepler, run_pegasus, run_serverless_only, run_traditional, run_traditional_tuned,
+    run_kepler_traced, run_pegasus_traced, run_serverless_only_traced, run_traditional_traced,
+    run_traditional_tuned_traced,
 };
-use mashup_core::{Mashup, MashupConfig, WorkflowReport};
+use mashup_core::{Mashup, MashupConfig, Tracer, WorkflowReport};
 use mashup_dag::Workflow;
 use serde::{Deserialize, Serialize};
 
@@ -53,16 +54,42 @@ impl Strategy {
 }
 
 /// Runs `strategy` on `workflow` under `cfg` and returns its report.
+///
+/// When a trace directory is configured (see [`crate::set_trace_dir`]), the
+/// run is additionally recorded and written out as a JSONL flight-recorder
+/// trace; the report itself is unaffected.
 pub fn run_strategy(cfg: &MashupConfig, workflow: &Workflow, strategy: Strategy) -> WorkflowReport {
+    let tracer = if crate::trace_dir::trace_dir().is_some() {
+        Tracer::new()
+    } else {
+        Tracer::off()
+    };
+    let report = run_strategy_traced(cfg, workflow, strategy, &tracer);
+    if tracer.is_on() {
+        crate::trace_dir::write_trace(&report.workflow, strategy.label(), &tracer.take());
+    }
+    report
+}
+
+/// Runs `strategy` on `workflow` under `cfg`, recording the execution into
+/// `tracer` (pass `Tracer::off()` for an unrecorded run).
+pub fn run_strategy_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    strategy: Strategy,
+    tracer: &Tracer,
+) -> WorkflowReport {
     match strategy {
-        Strategy::Traditional => run_traditional(cfg, workflow),
-        Strategy::TraditionalTuned => run_traditional_tuned(cfg, workflow),
-        Strategy::ServerlessOnly => run_serverless_only(cfg, workflow),
-        Strategy::Pegasus => run_pegasus(cfg, workflow),
-        Strategy::Kepler => run_kepler(cfg, workflow),
-        Strategy::MashupWithoutPdc => Mashup::new(cfg.clone()).run_without_pdc(workflow),
+        Strategy::Traditional => run_traditional_traced(cfg, workflow, tracer),
+        Strategy::TraditionalTuned => run_traditional_tuned_traced(cfg, workflow, tracer),
+        Strategy::ServerlessOnly => run_serverless_only_traced(cfg, workflow, tracer),
+        Strategy::Pegasus => run_pegasus_traced(cfg, workflow, tracer),
+        Strategy::Kepler => run_kepler_traced(cfg, workflow, tracer),
+        Strategy::MashupWithoutPdc => Mashup::new(cfg.clone())
+            .with_tracer(tracer.clone())
+            .run_without_pdc(workflow),
         Strategy::Mashup => {
-            let mut engine = Mashup::new(cfg.clone());
+            let mut engine = Mashup::new(cfg.clone()).with_tracer(tracer.clone());
             if let Some(cache) = crate::plan_cache::plan_cache() {
                 engine = engine.with_cache(cache);
             }

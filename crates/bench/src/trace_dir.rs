@@ -1,0 +1,64 @@
+//! Optional flight-recorder output for harness runs.
+//!
+//! When a trace directory is set (`--trace-dir` in the `figures` binary),
+//! every [`crate::run_strategy`] call records its execution and writes one
+//! deterministic JSONL trace file into the directory. File names are
+//! `<workflow>__<strategy>__<n>.jsonl` where `n` is a process-wide counter,
+//! so parallel sweep workers (`--jobs N`) never collide. Recording never
+//! perturbs results — traced and untraced runs are byte-identical
+//! (`tests/determinism.rs` enforces this on the figure outputs).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static DIR: OnceLock<PathBuf> = OnceLock::new();
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Directs all subsequent [`crate::run_strategy`] calls to record their
+/// executions as JSONL files under `dir` (created if missing). Can only be
+/// set once per process; later calls are ignored.
+pub fn set_trace_dir(dir: &Path) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let _ = DIR.set(dir.to_path_buf());
+}
+
+/// The configured trace directory, if any.
+pub fn trace_dir() -> Option<&'static Path> {
+    DIR.get().map(PathBuf::as_path)
+}
+
+/// Writes `records` as one JSONL file for (`workflow`, `strategy`) under
+/// the configured directory. No-op when tracing is off.
+pub(crate) fn write_trace(workflow: &str, strategy: &str, records: &[mashup_core::TraceRecord]) {
+    let Some(dir) = trace_dir() else { return };
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let name = format!("{}__{}__{n}.jsonl", sanitize(workflow), sanitize(strategy));
+    let path = dir.join(name);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    std::fs::write(&path, mashup_sim::trace::to_jsonl(records))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars_only() {
+        assert_eq!(sanitize("1000genome v2/x"), "1000genome-v2-x");
+        assert_eq!(sanitize("mashup-wo-pdc"), "mashup-wo-pdc");
+    }
+}

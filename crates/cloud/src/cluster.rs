@@ -19,6 +19,7 @@
 use crate::cost::CostMeter;
 use crate::pricing::InstanceType;
 use crate::storage::ObjectStore;
+use mashup_sim::trace::{TraceEvent, Tracer};
 use mashup_sim::{jitter_factor, SeedSource, SharedLink, SimDuration, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -186,6 +187,7 @@ impl SubCluster {
 struct ClusterState {
     billing_started: Option<SimTime>,
     billed_node_seconds: f64,
+    tracer: Tracer,
 }
 
 /// A shareable VM cluster. Cloning shares the same nodes and links.
@@ -234,9 +236,25 @@ impl VmCluster {
             state: Rc::new(RefCell::new(ClusterState {
                 billing_started: None,
                 billed_node_seconds: 0.0,
+                tracer: Tracer::off(),
             })),
             cfg,
         }
+    }
+
+    /// Attaches a flight recorder; component timeshare windows and billing
+    /// boundaries flow through it (sub-cluster links pick it up too).
+    /// Reaches every clone of this cluster (state is shared).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        for sub in self.subs.iter() {
+            sub.master_link.set_tracer(tracer.clone());
+            sub.fabric_link.set_tracer(tracer.clone());
+        }
+        self.state.borrow_mut().tracer = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.state.borrow().tracer.clone()
     }
 
     /// The cluster configuration.
@@ -259,6 +277,12 @@ impl VmCluster {
         let mut s = self.state.borrow_mut();
         if s.billing_started.is_none() {
             s.billing_started = Some(now);
+            s.tracer.emit(
+                now,
+                TraceEvent::BillingStart {
+                    nodes: self.cfg.nodes,
+                },
+            );
         }
     }
 
@@ -270,6 +294,12 @@ impl VmCluster {
             s.billed_node_seconds += node_secs;
             self.meter
                 .charge_vm(node_secs, self.cfg.instance.price_per_hour);
+            s.tracer.emit(
+                now,
+                TraceEvent::BillingStop {
+                    node_seconds: node_secs,
+                },
+            );
         }
     }
 
@@ -389,11 +419,33 @@ impl VmCluster {
                         cluster.cfg.instance.memory_gb,
                         spec.contention_coeff,
                     );
+                    let thrash = load as f64 * spec.memory_gb > cluster.cfg.instance.memory_gb
+                        && spec.contention_coeff > 0.0;
+                    cluster.tracer().emit(
+                        sim.now(),
+                        TraceEvent::VmCompStart {
+                            task: spec.label.clone(),
+                            sub: spec.subcluster,
+                            node: node_idx,
+                            load,
+                            mem_gb: spec.memory_gb,
+                            factor,
+                            thrash,
+                        },
+                    );
                     let secs = spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
                     let dur = SimDuration::from_secs(secs);
                     accum.borrow_mut().compute_secs += secs;
                     sim.schedule_in(dur, move |sim| {
                         cluster.subs[spec.subcluster].node_loads.borrow_mut()[node_idx] -= 1;
+                        cluster.tracer().emit(
+                            sim.now(),
+                            TraceEvent::VmCompEnd {
+                                task: spec.label.clone(),
+                                sub: spec.subcluster,
+                                node: node_idx,
+                            },
+                        );
                         // --- output ---
                         let write_begin = sim.now();
                         let finish = {

@@ -11,6 +11,7 @@
 
 use crate::faas::FaasPlatform;
 use crate::storage::ObjectStore;
+use mashup_sim::trace::TraceEvent;
 use mashup_sim::{jitter_factor, SeedSource, SimDuration, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -193,10 +194,11 @@ pub fn run_task_on_faas(
     };
     let mut rng = seeds.child(&ctx.spec.label).stream("faas-run");
     let components = ctx.spec.components;
-    for _comp in 0..components {
+    for comp in 0..components {
         let jf = jitter_factor(&mut rng, ctx.spec.jitter);
         let total_compute = ctx.spec.compute_secs / ctx.platform.config().core_speed * jf;
         let work = Work {
+            chain: comp as u32,
             read: ctx.spec.input_bytes,
             needs_ckpt_read: false,
             compute: total_compute,
@@ -213,6 +215,9 @@ pub fn run_task_on_faas(
 /// into the platform's kill watchdog.
 #[derive(Clone, Copy)]
 struct Work {
+    /// Component index within the task: identifies the invocation chain in
+    /// trace records (checkpoint/resume matching).
+    chain: u32,
     /// Input bytes still to be read from the store.
     read: f64,
     /// True when this segment resumes from a checkpoint and must re-read
@@ -250,8 +255,27 @@ fn run_segment(sim: &mut Simulation, ctx: Ctx, work: Work) {
                 a.stats.last_fn_start = a.stats.last_fn_start.max(inv.ready_at);
             }
         }
+        ctx.platform.tracer().emit(
+            sim.now(),
+            TraceEvent::SegmentStart {
+                task: ctx.spec.label.clone(),
+                chain: work.chain,
+                inv: inv.id.raw(),
+                resume: work.needs_ckpt_read,
+                mem_gb: ctx.spec.memory_gb,
+            },
+        );
         if work.needs_ckpt_read {
             // Resume: re-read the checkpointed state before anything else.
+            ctx.platform.tracer().emit(
+                sim.now(),
+                TraceEvent::CheckpointResume {
+                    task: ctx.spec.label.clone(),
+                    chain: work.chain,
+                    inv: inv.id.raw(),
+                    remaining_secs: work.compute,
+                },
+            );
             let ckpt = ctx.spec.checkpoint_bytes;
             let cap = ctx.platform.config().per_function_bps;
             let requests = ctx.spec.io_requests;
@@ -389,6 +413,22 @@ fn compute_phase(sim: &mut Simulation, ctx: Ctx, inv: crate::faas::Invocation, w
                         let mut a = ctx3.accum.borrow_mut();
                         a.stats.io_secs += sim.now().since(write_begin).as_secs();
                         a.stats.bytes_written += ckpt;
+                    }
+                    // The state only persists if the function survived to
+                    // finish the write; record the checkpoint at the instant
+                    // it landed (before the deadline, or the watchdog would
+                    // have killed the function first).
+                    if ctx3.platform.is_active(inv.id) {
+                        ctx3.platform.tracer().emit(
+                            sim.now(),
+                            TraceEvent::Checkpoint {
+                                task: ctx3.spec.label.clone(),
+                                chain: work.chain,
+                                inv: inv.id.raw(),
+                                bytes: ckpt,
+                                remaining_secs: leftover,
+                            },
+                        );
                     }
                     let alive = ctx3.platform.complete(sim, inv.id);
                     let next = if alive {

@@ -15,6 +15,7 @@
 
 use crate::cost::CostMeter;
 use crate::pricing::FaasConfig;
+use mashup_sim::trace::{KillReason, TraceEvent, Tracer};
 use mashup_sim::{SeedSource, SimDuration, SimTime, Simulation};
 use rand::Rng;
 use std::cell::RefCell;
@@ -30,6 +31,13 @@ pub type KillFn = Box<dyn FnOnce(&mut Simulation)>;
 /// Identifier of a live invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InvocationId(u64);
+
+impl InvocationId {
+    /// The underlying numeric id (matches `FnStart { id, .. }` in traces).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 /// Details handed to the executor when its function is ready to run.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +75,7 @@ struct FaasState {
     kills: u64,
     peak_concurrency: usize,
     function_seconds: f64,
+    tracer: Tracer,
 }
 
 /// A shareable FaaS platform. Cloning shares the same scheduler and pools.
@@ -94,10 +103,22 @@ impl FaasPlatform {
                 kills: 0,
                 peak_concurrency: 0,
                 function_seconds: 0.0,
+                tracer: Tracer::off(),
             })),
             cfg,
             meter,
         }
+    }
+
+    /// Attaches a flight recorder; invocation lifecycle records (start,
+    /// completion, kills, pre-warming) flow through it. Reaches every clone
+    /// of this platform (state is shared).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.state.borrow_mut().tracer = tracer;
+    }
+
+    pub(crate) fn tracer(&self) -> Tracer {
+        self.state.borrow().tracer.clone()
     }
 
     /// The platform constants.
@@ -236,9 +257,22 @@ impl FaasPlatform {
                 cold,
                 start_latency: SimDuration::from_secs(latency),
             };
+            platform.tracer().emit(
+                sim.now(),
+                TraceEvent::FnStart {
+                    id,
+                    code: code_key.clone(),
+                    cold,
+                    latency_secs: latency,
+                    ready_secs: ready_at.as_secs(),
+                    deadline_secs: deadline.as_secs(),
+                },
+            );
             // Watchdog enforcing the execution time cap.
             let p2 = platform.clone();
-            sim.schedule_at(deadline, move |sim| p2.kill_invocation(sim, id));
+            sim.schedule_at(deadline, move |sim| {
+                p2.kill_invocation(sim, id, KillReason::Watchdog)
+            });
             // Transient platform failures (§3): the microVM dies at a
             // random point of its window; the executor recovers from the
             // last checkpoint.
@@ -248,7 +282,9 @@ impl FaasPlatform {
                 let frac: f64 = platform.rng.borrow_mut().gen();
                 let kill_at = ready_at + SimDuration::from_secs(platform.cfg.timeout_secs * frac);
                 let p3 = platform.clone();
-                sim.schedule_at(kill_at, move |sim| p3.kill_invocation(sim, id));
+                sim.schedule_at(kill_at, move |sim| {
+                    p3.kill_invocation(sim, id, KillReason::Injected)
+                });
             }
             sim.schedule_at(ready_at, move |sim| on_ready(sim, inv));
         });
@@ -256,7 +292,7 @@ impl FaasPlatform {
 
     /// Kills a live invocation (deadline watchdog or injected failure):
     /// bills the elapsed window, never rewarms, and fires `on_killed`.
-    fn kill_invocation(&self, sim: &mut Simulation, id: u64) {
+    fn kill_invocation(&self, sim: &mut Simulation, id: u64, reason: KillReason) {
         let killed = {
             let mut s = self.state.borrow_mut();
             s.active.remove(&id)
@@ -269,6 +305,14 @@ impl FaasPlatform {
                 s.function_seconds += billed;
             }
             self.meter.charge_faas(billed, self.cfg.price_per_hour);
+            self.tracer().emit(
+                sim.now(),
+                TraceEvent::FnKill {
+                    id,
+                    reason,
+                    billed_secs: billed,
+                },
+            );
             if let Some(cb) = inv.on_killed {
                 cb(sim);
             }
@@ -306,6 +350,13 @@ impl FaasPlatform {
             s.warm_pool.entry(inv.code_key).or_default().push(expiry);
         }
         self.meter.charge_faas(billed, self.cfg.price_per_hour);
+        self.tracer().emit(
+            now,
+            TraceEvent::FnEnd {
+                id: id.0,
+                billed_secs: billed,
+            },
+        );
         true
     }
 
@@ -333,6 +384,15 @@ impl FaasPlatform {
                     s.function_seconds += latency;
                     s.cold_starts += 1;
                 }
+                platform.tracer().emit(
+                    sim.now(),
+                    TraceEvent::FnPrewarm {
+                        code: key.clone(),
+                        latency_secs: latency,
+                        warm_secs: warm_at.as_secs(),
+                        expires_secs: warm_at.as_secs() + platform.cfg.keep_alive_secs,
+                    },
+                );
                 let p2 = platform.clone();
                 sim.schedule_at(warm_at, move |sim| {
                     let expiry = sim.now() + SimDuration::from_secs(p2.cfg.keep_alive_secs);

@@ -21,6 +21,7 @@
 
 use crate::cost::CostMeter;
 use crate::pricing::StorageConfig;
+use mashup_sim::trace::{TraceEvent, Tracer};
 use mashup_sim::{SeedSource, SharedLink, SimDuration, SimTime, Simulation};
 use rand::Rng;
 use std::cell::RefCell;
@@ -34,6 +35,7 @@ struct StoreState {
     reads: u64,
     writes: u64,
     injected_failures: u64,
+    tracer: Tracer,
 }
 
 /// A shareable S3-like object store. Cloning shares the same store.
@@ -61,8 +63,21 @@ impl ObjectStore {
                 reads: 0,
                 writes: 0,
                 injected_failures: 0,
+                tracer: Tracer::off(),
             })),
         }
+    }
+
+    /// Attaches a flight recorder; GET/PUT request batches and logical object
+    /// lifecycle flow through it (the data-plane link picks it up too).
+    /// Reaches every clone of this store (state is shared).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.link.set_tracer(tracer.clone());
+        self.state.borrow_mut().tracer = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.state.borrow().tracer.clone()
     }
 
     /// The store configuration.
@@ -96,6 +111,7 @@ impl ObjectStore {
         self.meter
             .charge_storage_requests(requests, self.cfg.price_per_get);
         let mut latency = self.cfg.request_latency_secs;
+        let mut retried = false;
         if self.cfg.get_failure_prob > 0.0 {
             let failed = self.rng.borrow_mut().gen::<f64>() < self.cfg.get_failure_prob;
             if failed {
@@ -104,8 +120,17 @@ impl ObjectStore {
                 self.meter
                     .charge_storage_requests(requests, self.cfg.price_per_get);
                 latency += 2.0 * self.cfg.request_latency_secs;
+                retried = true;
             }
         }
+        self.tracer().emit(
+            begin,
+            TraceEvent::StoreGet {
+                bytes,
+                requests,
+                retried,
+            },
+        );
         let link = self.link.clone();
         sim.schedule_in(SimDuration::from_secs(latency), move |sim| {
             link.start_transfer(sim, bytes, per_flow_cap, move |sim| {
@@ -131,6 +156,14 @@ impl ObjectStore {
         }
         self.meter
             .charge_storage_requests(requests * self.cfg.replicas as u64, self.cfg.price_per_put);
+        self.tracer().emit(
+            begin,
+            TraceEvent::StorePut {
+                bytes,
+                requests,
+                replicas: self.cfg.replicas as u64,
+            },
+        );
         let link = self.link.clone();
         let latency = SimDuration::from_secs(self.cfg.request_latency_secs);
         sim.schedule_in(latency, move |sim| {
@@ -153,6 +186,13 @@ impl ObjectStore {
         }
         s.bytes_stored += bytes;
         s.peak_bytes = s.peak_bytes.max(s.bytes_stored);
+        s.tracer.emit(
+            now,
+            TraceEvent::ObjectPut {
+                key: key.clone(),
+                bytes,
+            },
+        );
         s.objects.insert(key, (bytes, now));
     }
 
@@ -164,6 +204,12 @@ impl ObjectStore {
             let held = now.saturating_since(put_at).as_secs();
             self.meter
                 .charge_storage_occupancy(bytes * self.cfg.replicas as f64, held);
+            s.tracer.emit(
+                now,
+                TraceEvent::ObjectRemove {
+                    key: key.to_string(),
+                },
+            );
         }
     }
 

@@ -3,7 +3,7 @@
 use mashup_cloud::{
     ClusterConfig, CostMeter, FaasPlatform, InstanceType, ObjectStore, ProviderPreset, VmCluster,
 };
-use mashup_sim::{SeedSource, Simulation};
+use mashup_sim::{SeedSource, Simulation, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Everything Mashup needs to know about the target environment.
@@ -131,6 +131,17 @@ impl CloudEnv {
         let mut shifted = cfg.clone();
         shifted.seed = cfg.seed.wrapping_add(offset);
         Self::new(&shifted)
+    }
+
+    /// Attaches one flight recorder to every mechanism in the environment
+    /// (engine, cluster, platform, store, and their links). Emission never
+    /// touches simulated state, so a traced run is byte-identical to an
+    /// untraced one.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.sim.set_tracer(tracer.clone());
+        self.cluster.set_tracer(tracer.clone());
+        self.faas.set_tracer(tracer.clone());
+        self.store.set_tracer(tracer);
     }
 }
 

@@ -2,12 +2,13 @@
 
 use crate::cache::PlanCache;
 use crate::config::MashupConfig;
-use crate::exec::try_execute;
+use crate::exec::try_execute_traced;
 use crate::naive::plan_without_pdc;
 use crate::pdc::{Objective, Pdc, PdcReport};
 use crate::report::WorkflowReport;
 use mashup_analyze::AnalysisError;
 use mashup_dag::Workflow;
+use mashup_sim::Tracer;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -41,6 +42,7 @@ pub struct Mashup {
     cfg: MashupConfig,
     objective: Objective,
     cache: Option<Arc<PlanCache>>,
+    tracer: Tracer,
 }
 
 impl Mashup {
@@ -50,7 +52,17 @@ impl Mashup {
             cfg,
             objective: Objective::ExecutionTime,
             cache: None,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Builder-style: records the run into `tracer` — PDC decision
+    /// provenance plus the production execution's full event stream.
+    /// Emission never touches simulated state, so reports are identical
+    /// with or without a recorder attached.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Builder-style: changes the PDC objective (Fig. 5 study).
@@ -83,13 +95,15 @@ impl Mashup {
     /// Like [`Mashup::run`], but refuses error-diagnosed inputs with a
     /// typed [`AnalysisError`] instead of panicking mid-simulation.
     pub fn try_run(&self, workflow: &Workflow) -> Result<MashupOutcome, AnalysisError> {
-        let mut pdc = Pdc::new(self.cfg.clone()).with_objective(self.objective);
+        let mut pdc = Pdc::new(self.cfg.clone())
+            .with_objective(self.objective)
+            .with_tracer(self.tracer.clone());
         if let Some(cache) = &self.cache {
             pdc = pdc.with_cache(cache.clone());
         }
         let pdc = pdc.try_decide(workflow)?;
         let tuned = self.cfg.clone().with_subclusters(pdc.subclusters);
-        let report = try_execute(&tuned, workflow, &pdc.plan, "mashup")?;
+        let report = try_execute_traced(&tuned, workflow, &pdc.plan, "mashup", &self.tracer)?;
         Ok(MashupOutcome { pdc, report })
     }
 
@@ -109,7 +123,7 @@ impl Mashup {
         workflow: &Workflow,
     ) -> Result<WorkflowReport, AnalysisError> {
         let plan = plan_without_pdc(&self.cfg, workflow);
-        try_execute(&self.cfg, workflow, &plan, "mashup-wo-pdc")
+        try_execute_traced(&self.cfg, workflow, &plan, "mashup-wo-pdc", &self.tracer)
     }
 }
 

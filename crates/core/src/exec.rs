@@ -21,7 +21,7 @@ use crate::report::{TaskReport, WorkflowReport};
 use mashup_analyze::AnalysisError;
 use mashup_cloud::{ClusterTaskSpec, FaasTaskSpec};
 use mashup_dag::{TaskRef, Workflow};
-use mashup_sim::{SimTime, Simulation};
+use mashup_sim::{SimTime, Simulation, TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -77,6 +77,7 @@ struct Driver {
     plan: PlacementPlan,
     locations: Vec<Vec<OutputLocation>>,
     env_handles: EnvHandles,
+    tracer: Tracer,
     reports: Vec<TaskReport>,
     remaining_in_phase: usize,
     finished_at: Option<SimTime>,
@@ -115,6 +116,31 @@ pub fn try_execute(
     strategy: &str,
 ) -> Result<WorkflowReport, AnalysisError> {
     let mut env = CloudEnv::new(cfg);
+    try_execute_in(&mut env, cfg, workflow, plan, strategy)
+}
+
+/// Like [`execute`], but records the run into `tracer` (a fresh environment
+/// is built and the recorder attached to every mechanism before execution).
+pub fn execute_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+    tracer: &Tracer,
+) -> WorkflowReport {
+    try_execute_traced(cfg, workflow, plan, strategy, tracer).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`try_execute`], but records the run into `tracer`.
+pub fn try_execute_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    strategy: &str,
+    tracer: &Tracer,
+) -> Result<WorkflowReport, AnalysisError> {
+    let mut env = CloudEnv::new(cfg);
+    env.attach_tracer(tracer.clone());
     try_execute_in(&mut env, cfg, workflow, plan, strategy)
 }
 
@@ -183,6 +209,7 @@ fn execute_in_unchecked(
             store: env.store.clone(),
             seeds: env.seeds,
         },
+        tracer: env.sim.tracer().clone(),
         reports: Vec::new(),
         remaining_in_phase: 0,
         finished_at: None,
@@ -232,6 +259,13 @@ fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize
         return;
     }
     driver.borrow_mut().remaining_in_phase = n_tasks;
+    driver.borrow().tracer.emit(
+        sim.now(),
+        TraceEvent::PhaseStart {
+            phase: phase_idx,
+            tasks: n_tasks,
+        },
+    );
 
     prewarm_next_phase(sim, &driver, phase_idx);
 
@@ -343,6 +377,18 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskR
     };
     let driver2 = driver.clone();
     let task_name = driver.borrow().workflow.task(r).name.clone();
+    {
+        let d = driver.borrow();
+        d.tracer.emit(
+            sim.now(),
+            TraceEvent::TaskStart {
+                task: task_name.clone(),
+                phase: r.phase,
+                platform: "serverless".into(),
+                components: spec.components,
+            },
+        );
+    }
     let faas = handles.faas.clone();
     let store = handles.store.clone();
     let seeds = handles.seeds;
@@ -435,6 +481,18 @@ fn spawn_on_cluster(
     };
     let driver2 = driver.clone();
     let task_name = driver.borrow().workflow.task(r).name.clone();
+    {
+        let d = driver.borrow();
+        d.tracer.emit(
+            sim.now(),
+            TraceEvent::TaskStart {
+                task: task_name.clone(),
+                phase: r.phase,
+                platform: "vm".into(),
+                components: spec.components,
+            },
+        );
+    }
     let store = handles.store.clone();
     let cluster = handles.cluster.clone();
     cluster.run_task(sim, Some(&handles.store), spec, move |sim, stats| {
@@ -472,6 +530,12 @@ fn spawn_on_cluster(
 fn finish_task(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, r: TaskRef, report: TaskReport) {
     let next_phase = {
         let mut d = driver.borrow_mut();
+        d.tracer.emit(
+            sim.now(),
+            TraceEvent::TaskEnd {
+                task: report.name.clone(),
+            },
+        );
         d.reports.push(report);
         d.remaining_in_phase -= 1;
         if d.remaining_in_phase == 0 {

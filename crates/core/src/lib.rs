@@ -13,7 +13,10 @@
 //!   VM cluster and the serverless platform with store-mediated data
 //!   exchange, checkpointing across the FaaS time cap, and pre-warming;
 //! * [`Mashup`] — the one-call engine combining both;
-//! * [`plan_without_pdc`] — the paper's "Mashup w/o PDC" baseline design.
+//! * [`plan_without_pdc`] — the paper's "Mashup w/o PDC" baseline design;
+//! * [`trace::check`] — the trace-invariant oracle: replays a recorded
+//!   execution ([`Tracer`]) against precedence, capacity, checkpoint-window,
+//!   warm-start, and cost-reconciliation rules.
 //!
 //! Reports ([`WorkflowReport`], [`TaskReport`], [`PdcReport`]) carry the
 //! makespan, expense, placement, and overhead decomposition (cold start,
@@ -31,14 +34,18 @@ mod naive;
 mod pdc;
 mod placement;
 mod report;
+pub mod trace;
 
 pub use analysis::{engine_params, preflight};
 pub use cache::{CacheStats, PlanCache, ProbeEntry, SectionStats, VmProfileEntry};
 pub use config::{CloudEnv, MashupConfig};
 pub use engine::{Mashup, MashupOutcome};
-pub use exec::{execute, execute_in, try_execute, try_execute_in};
+pub use exec::{
+    execute, execute_in, execute_traced, try_execute, try_execute_in, try_execute_traced,
+};
 pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use mashup_analyze::{AnalysisError, Code, Diagnostic, Location, Severity};
+pub use mashup_sim::{KillReason, TraceEvent, TraceRecord, Tracer};
 pub use naive::plan_without_pdc;
 pub use pdc::{
     calibrate, estimate_serverless_time, fit_gamma, ModelFactors, Objective, Pdc, PdcReport,
@@ -46,3 +53,4 @@ pub use pdc::{
 };
 pub use placement::{PlacementPlan, Platform, UnassignedTask};
 pub use report::{improvement_pct, TaskReport, WorkflowReport};
+pub use trace::Violation;

@@ -31,8 +31,9 @@ use crate::fingerprint::{Fingerprint, Fingerprinter};
 use crate::placement::{PlacementPlan, Platform};
 use mashup_cloud::{run_task_on_faas, Expense, FaasRunStats, FaasTaskSpec};
 use mashup_dag::{Task, TaskRef, Workflow};
+use mashup_sim::{SimTime, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -110,6 +111,7 @@ pub struct Pdc {
     cfg: MashupConfig,
     objective: Objective,
     cache: Option<Arc<PlanCache>>,
+    tracer: Tracer,
 }
 
 impl Pdc {
@@ -119,7 +121,29 @@ impl Pdc {
             cfg,
             objective: Objective::ExecutionTime,
             cache: None,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Builder-style: records decision provenance (per-task argmin inputs
+    /// and cache hit/miss records) into `tracer`. Planning happens before
+    /// simulated time starts, so every record lands at t = 0. The profiling
+    /// environments themselves stay untraced.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Records whether a memoized profiling stage was served from the cache
+    /// (`compute` never ran) or computed fresh.
+    fn trace_cache(&self, section: &str, computed: bool) {
+        self.tracer.emit(
+            SimTime::ZERO,
+            TraceEvent::PdcCache {
+                section: section.to_string(),
+                hit: !computed,
+            },
+        );
     }
 
     /// Builder-style: changes the optimization objective.
@@ -151,16 +175,30 @@ impl Pdc {
     pub fn decide(&self, workflow: &Workflow) -> PdcReport {
         // Step 0: calibrate platform factors with no-op micro-batches.
         let factors = match &self.cache {
-            Some(c) => c.calibration(self.calibration_key(), || calibrate(&self.cfg)),
+            Some(c) => {
+                let computed = Cell::new(false);
+                let f = c.calibration(self.calibration_key(), || {
+                    computed.set(true);
+                    calibrate(&self.cfg)
+                });
+                self.trace_cache("calibration", computed.get());
+                f
+            }
             None => calibrate(&self.cfg),
         };
 
         // Step 1: full VM profiling passes across candidate sub-cluster
         // splits (memoized on workflow + cluster shape + seed).
         let vm = match &self.cache {
-            Some(c) => c.vm_profile(self.vm_profile_key(workflow), || {
-                self.run_vm_profile(workflow)
-            }),
+            Some(c) => {
+                let computed = Cell::new(false);
+                let v = c.vm_profile(self.vm_profile_key(workflow), || {
+                    computed.set(true);
+                    self.run_vm_profile(workflow)
+                });
+                self.trace_cache("vm-profile", computed.get());
+                v
+            }
             None => self.run_vm_profile(workflow),
         };
 
@@ -198,7 +236,15 @@ impl Pdc {
             }
 
             let probe = match &self.cache {
-                Some(c) => c.probe(self.probe_key(r, t), || self.run_probe(workflow, r)),
+                Some(c) => {
+                    let computed = Cell::new(false);
+                    let p = c.probe(self.probe_key(r, t), || {
+                        computed.set(true);
+                        self.run_probe(workflow, r)
+                    });
+                    self.trace_cache(&format!("probe:{}", t.name), computed.get());
+                    p
+                }
                 None => self.run_probe(workflow, r),
             };
             let (probe_secs, probe_busy_secs) = (probe.probe_secs, probe.probe_busy_secs);
@@ -259,6 +305,30 @@ impl Pdc {
                 &mut plan,
                 self.cfg.cluster.instance.wan_bps,
                 self.cfg.cluster.instance.master_nic_bps,
+            );
+        }
+
+        // Decision provenance, recorded after the boundary refinement so
+        // each record carries the task's *final* platform and reason.
+        // Forced decisions never estimated a serverless time; their
+        // infinite sentinel is recorded as -1 (JSON has no infinity).
+        for d in &decisions {
+            self.tracer.emit(
+                SimTime::ZERO,
+                TraceEvent::PdcDecision {
+                    task: d.name.clone(),
+                    t_vm_secs: d.t_vm_secs,
+                    t_serverless_secs: if d.t_serverless_est_secs.is_finite() {
+                        d.t_serverless_est_secs
+                    } else {
+                        -1.0
+                    },
+                    platform: match d.platform {
+                        Platform::Serverless => "serverless".to_string(),
+                        Platform::VmCluster => "vm".to_string(),
+                    },
+                    forced: d.forced_vm_reason.clone().unwrap_or_default(),
+                },
             );
         }
 

@@ -1,8 +1,8 @@
 //! Property-based tests of the Mashup engine invariants.
 
 use mashup_core::{
-    estimate_serverless_time, execute, fit_gamma, MashupConfig, ModelFactors, Pdc, PlacementPlan,
-    PlanCache, Platform,
+    estimate_serverless_time, execute, execute_traced, fit_gamma, MashupConfig, ModelFactors, Pdc,
+    PlacementPlan, PlanCache, Platform, Tracer,
 };
 use mashup_workflows::{generate, SyntheticConfig};
 use proptest::prelude::*;
@@ -125,6 +125,37 @@ proptest! {
         // The warm pass must have been served entirely from the cache.
         prop_assert_eq!(stats.misses(), stats.entries());
         prop_assert!(stats.hits() >= stats.entries());
+    }
+
+    /// The flight recorder is a pure observer: for any synthetic workflow
+    /// and either platform, an untraced run, a flow-level traced run, and a
+    /// verbose traced run produce bit-identical reports — and the recorded
+    /// trace passes the invariant oracle.
+    #[test]
+    fn tracing_never_perturbs_execution(seed in 0u64..20) {
+        let w = small_synthetic(seed);
+        let cfg = MashupConfig::aws(4);
+        for platform in [Platform::VmCluster, Platform::Serverless] {
+            if platform == Platform::Serverless
+                && w.task_refs().any(|r| w.task(r).profile.memory_gb > 3.0)
+            {
+                continue;
+            }
+            let plan = PlacementPlan::uniform(&w, platform);
+            let untraced = execute(&cfg, &w, &plan, "prop");
+            let flow = Tracer::new();
+            let traced = execute_traced(&cfg, &w, &plan, "prop", &flow);
+            let verbose = Tracer::verbose();
+            let verbose_traced = execute_traced(&cfg, &w, &plan, "prop", &verbose);
+            prop_assert_eq!(&untraced, &traced);
+            prop_assert_eq!(&untraced, &verbose_traced);
+            let flow_records = flow.take();
+            prop_assert!(!flow_records.is_empty());
+            // Verbose traces strictly extend flow traces.
+            prop_assert!(verbose.len() > flow_records.len());
+            let violations = mashup_core::trace::check(&cfg, &w, &untraced, &flow_records);
+            prop_assert!(violations.is_empty(), "oracle: {:?}", violations);
+        }
     }
 
     /// Cluster expense scales linearly with price for a fixed plan.

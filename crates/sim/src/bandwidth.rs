@@ -20,6 +20,7 @@
 
 use crate::engine::{EventHandle, Simulation};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -63,6 +64,8 @@ struct LinkState {
     // Time series of (time, utilized fraction) for figure traces.
     utilization_trace: Vec<(f64, f64)>,
     trace_enabled: bool,
+    /// Flight recorder; transfer start/end instants at verbose level only.
+    tracer: Tracer,
 }
 
 impl LinkState {
@@ -213,8 +216,15 @@ impl SharedLink {
                 bytes_delivered: 0.0,
                 utilization_trace: Vec::new(),
                 trace_enabled: false,
+                tracer: Tracer::off(),
             })),
         }
+    }
+
+    /// Attaches a flight recorder; transfer lifecycles become verbose-level
+    /// instants carrying the link name.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
     }
 
     /// Enables recording of a `(time, utilized fraction)` trace.
@@ -296,6 +306,12 @@ impl SharedLink {
                 on_done: Some(Box::new(on_done)),
             });
             s.record_utilization(sim.now());
+            s.tracer
+                .emit_verbose(sim.now(), || TraceEvent::TransferStart {
+                    link: s.name.clone(),
+                    id,
+                    bytes,
+                });
             id
         };
         self.replan(sim);
@@ -399,6 +415,11 @@ impl SharedLink {
                     if let Some(cb) = t.on_done.take() {
                         callbacks.push(cb);
                     }
+                    s.tracer
+                        .emit_verbose(sim.now(), || TraceEvent::TransferEnd {
+                            link: s.name.clone(),
+                            id,
+                        });
                 }
             }
             s.record_utilization(sim.now());

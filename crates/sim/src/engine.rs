@@ -16,6 +16,7 @@
 //! unbounded garbage.
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -110,6 +111,8 @@ pub struct Simulation {
     events_processed: u64,
     /// Hard cap on processed events; guards against runaway event loops.
     event_limit: u64,
+    /// Flight recorder; dispatch instants are emitted at verbose level only.
+    tracer: Tracer,
 }
 
 impl Default for Simulation {
@@ -131,7 +134,20 @@ impl Simulation {
             dead: 0,
             events_processed: 0,
             event_limit: u64::MAX,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a flight recorder. Verbose tracers capture one `Dispatch`
+    /// instant per processed event; flow-level tracers record nothing here
+    /// (the domain layers carry their own handles).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached flight recorder (off by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Sets a hard cap on the number of events processed; `run` panics when
@@ -266,6 +282,9 @@ impl Simulation {
                     self.event_limit
                 );
             }
+            let events = self.events_processed;
+            self.tracer
+                .emit_verbose(self.now, || TraceEvent::Dispatch { events });
             (head.run)(self);
         }
         if let Some(d) = deadline {

@@ -13,7 +13,10 @@
 //!   behind every network/storage contention effect in the paper;
 //! * [`SeedSource`]/[`stream_rng`] — labelled deterministic RNG streams;
 //! * metric primitives ([`Counter`], [`TimeWeightedGauge`], [`Histogram`],
-//!   [`Series`]) for reports and figure traces.
+//!   [`Series`]) for reports and figure traces;
+//! * [`Tracer`] — the execution flight recorder: a zero-overhead-when-off
+//!   structured event stream (see [`trace`]) the cloud and core layers
+//!   thread through every mechanism.
 //!
 //! Domain state lives outside the engine behind `Rc<RefCell<..>>` handles
 //! captured by event closures; see `mashup-cloud` for the cloud models built
@@ -27,6 +30,7 @@ mod metrics;
 mod resource;
 mod rng;
 mod time;
+pub mod trace;
 
 pub use bandwidth::{SharedLink, TransferId};
 pub use engine::{EventFn, EventHandle, Simulation};
@@ -34,3 +38,4 @@ pub use metrics::{Counter, Histogram, Series, TimeWeightedGauge};
 pub use resource::Resource;
 pub use rng::{jitter_factor, stream_rng, SeedSource};
 pub use time::{SimDuration, SimTime};
+pub use trace::{KillReason, TraceEvent, TraceRecord, Tracer};

@@ -7,6 +7,7 @@
 
 use crate::engine::Simulation;
 use crate::time::SimTime;
+use crate::trace::{TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -23,6 +24,7 @@ struct State {
     busy_unit_seconds: f64,
     peak_in_use: usize,
     total_grants: u64,
+    tracer: Tracer,
 }
 
 impl State {
@@ -30,6 +32,15 @@ impl State {
         let dt = now.saturating_since(self.last_change).as_secs();
         self.busy_unit_seconds += dt * self.in_use as f64;
         self.last_change = now;
+    }
+
+    /// Records one grant instant (verbose-level tracers only).
+    fn trace_grant(&self, now: SimTime) {
+        self.tracer.emit_verbose(now, || TraceEvent::ResourceGrant {
+            resource: self.name.clone(),
+            in_use: self.in_use,
+            capacity: self.capacity,
+        });
     }
 }
 
@@ -53,8 +64,14 @@ impl Resource {
                 busy_unit_seconds: 0.0,
                 peak_in_use: 0,
                 total_grants: 0,
+                tracer: Tracer::off(),
             })),
         }
+    }
+
+    /// Attaches a flight recorder; grants become verbose-level instants.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
     }
 
     /// The configured number of units.
@@ -98,6 +115,7 @@ impl Resource {
             s.in_use += 1;
             s.peak_in_use = s.peak_in_use.max(s.in_use);
             s.total_grants += 1;
+            s.trace_grant(sim.now());
             drop(s);
             sim.schedule_now(granted);
         } else {
@@ -114,6 +132,7 @@ impl Resource {
             s.in_use += 1;
             s.peak_in_use = s.peak_in_use.max(s.in_use);
             s.total_grants += 1;
+            s.trace_grant(now);
             true
         } else {
             false
@@ -128,6 +147,7 @@ impl Resource {
         if let Some(w) = s.waiters.pop_front() {
             // Unit transfers directly to the waiter; in_use stays constant.
             s.total_grants += 1;
+            s.trace_grant(sim.now());
             drop(s);
             sim.schedule_now(w);
         } else {

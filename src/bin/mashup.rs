@@ -7,6 +7,7 @@
 //! mashup plan     <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N] [--objective time|expense|both]
 //! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
 //! mashup compare  <workflow...>   [--nodes N]
+//! mashup trace    <workflow...>   [--nodes N] [--strategy S] [--format jsonl|chrome] [--out FILE] [--verbose] [--check]
 //! ```
 //!
 //! Built-in workflow names load the paper's benchmarks; anything else is
@@ -46,6 +47,10 @@ struct Args {
     nodes: usize,
     objective: Objective,
     strategy: String,
+    format: String,
+    out: Option<String>,
+    verbose: bool,
+    check: bool,
 }
 
 fn parse_args(mut rest: std::env::Args) -> Args {
@@ -57,6 +62,10 @@ fn parse_args(mut rest: std::env::Args) -> Args {
         nodes: 8,
         objective: Objective::ExecutionTime,
         strategy: "mashup".into(),
+        format: "jsonl".into(),
+        out: None,
+        verbose: false,
+        check: false,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -79,6 +88,18 @@ fn parse_args(mut rest: std::env::Args) -> Args {
                     .next()
                     .unwrap_or_else(|| die("--strategy needs a value"));
             }
+            "--format" => {
+                args.format = match rest.next().as_deref() {
+                    Some("jsonl") => "jsonl".into(),
+                    Some("chrome") => "chrome".into(),
+                    other => die(&format!("unknown trace format {other:?}")),
+                };
+            }
+            "--out" => {
+                args.out = Some(rest.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--verbose" => args.verbose = true,
+            "--check" => args.check = true,
             other => die(&format!("unknown flag '{other}'")),
         }
     }
@@ -101,7 +122,7 @@ fn main() {
     let mut argv = std::env::args();
     let _bin = argv.next();
     let Some(cmd) = argv.next() else {
-        die("usage: mashup <validate|analyze|dot|plan|run|compare> <workflow> [flags]")
+        die("usage: mashup <validate|analyze|dot|plan|run|compare|trace> <workflow> [flags]")
     };
     match cmd.as_str() {
         "validate" => {
@@ -193,6 +214,62 @@ fn main() {
                 );
             }
             println!("\n{}", report.render_gantt(60));
+        }
+        "trace" => {
+            let args = parse_args(argv);
+            let w = load_workflow(&args.workflow);
+            let cfg = MashupConfig::aws(args.nodes);
+            let tracer = if args.verbose {
+                Tracer::verbose()
+            } else {
+                Tracer::new()
+            };
+            let report = match args.strategy.as_str() {
+                "mashup" => {
+                    Mashup::new(cfg.clone())
+                        .with_tracer(tracer.clone())
+                        .try_run(&w)
+                        .unwrap_or_else(|e| die_diagnosed(&e))
+                        .report
+                }
+                "wo-pdc" => Mashup::new(cfg.clone())
+                    .with_tracer(tracer.clone())
+                    .try_run_without_pdc(&w)
+                    .unwrap_or_else(|e| die_diagnosed(&e)),
+                "traditional" => run_traditional_tuned_traced(&cfg, &w, &tracer),
+                "serverless" => run_serverless_only_traced(&cfg, &w, &tracer),
+                "pegasus" => run_pegasus_traced(&cfg, &w, &tracer),
+                "kepler" => run_kepler_traced(&cfg, &w, &tracer),
+                other => die(&format!("unknown strategy '{other}'")),
+            };
+            let records = tracer.take();
+            let body = match args.format.as_str() {
+                "chrome" => mashup::sim::trace::to_chrome_trace(&records),
+                _ => mashup::sim::trace::to_jsonl(&records),
+            };
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &body)
+                        .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
+                    eprintln!(
+                        "wrote {} records ({} format) to {path}",
+                        records.len(),
+                        args.format
+                    );
+                }
+                None => print!("{body}"),
+            }
+            if args.check {
+                let violations = mashup::engine::trace::check(&cfg, &w, &report, &records);
+                if violations.is_empty() {
+                    eprintln!("trace check: all invariants hold");
+                } else {
+                    for v in &violations {
+                        eprintln!("trace check: {v}");
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
         "compare" => {
             let args = parse_args(argv);

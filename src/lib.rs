@@ -39,11 +39,13 @@ pub use mashup_workflows as workflows;
 pub mod prelude {
     pub use mashup_analyze::{render_pretty, AnalysisError, Diagnostic};
     pub use mashup_baselines::{
-        run_kepler, run_pegasus, run_serverless_only, run_traditional, run_traditional_tuned,
+        run_kepler, run_kepler_traced, run_pegasus, run_pegasus_traced, run_serverless_only,
+        run_serverless_only_traced, run_traditional, run_traditional_traced, run_traditional_tuned,
+        run_traditional_tuned_traced,
     };
     pub use mashup_core::{
         improvement_pct, Mashup, MashupConfig, MashupOutcome, Objective, Pdc, PlacementPlan,
-        Platform, WorkflowReport,
+        Platform, TraceEvent, TraceRecord, Tracer, WorkflowReport,
     };
     pub use mashup_dag::{
         DependencyPattern, Task, TaskProfile, TaskRef, Workflow, WorkflowBuilder,

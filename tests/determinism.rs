@@ -39,6 +39,25 @@ fn mashup_makespans_match_seed_goldens_bit_for_bit() {
 }
 
 #[test]
+fn figure_json_is_byte_identical_with_tracing_enabled() {
+    // The flight recorder is a pure observer: enabling `--trace-dir` must
+    // not move a single byte of figure output. fig05 runs three full Mashup
+    // plans, so this covers the PDC, the hybrid executor, and both
+    // platforms. (The trace directory is process-global and write-only, so
+    // recording the untraced reference first is the only ordering that
+    // works inside one test binary.)
+    bench::set_jobs(1);
+    let untraced = serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize");
+    let dir = std::env::temp_dir().join(format!("mashup-trace-test-{}", std::process::id()));
+    bench::set_trace_dir(&dir);
+    let traced = serde_json::to_string_pretty(&bench::fig05_objectives()).expect("serialize");
+    bench::set_jobs(0);
+    assert_eq!(untraced, traced, "fig05 JSON depends on tracing");
+    let written = std::fs::read_dir(&dir).expect("trace dir exists").count();
+    assert!(written > 0, "tracing enabled but no trace files written");
+}
+
+#[test]
 fn figure_json_is_byte_identical_across_job_counts() {
     // fig05 runs three full Mashup plans; fig08 covers two workflows and
     // two VM families. Together they exercise the sweep fan-out both below

@@ -1,8 +1,11 @@
 //! Integration: failure injection through the replicated store, JSON/DOT
 //! format round trips, and the GCP-like provider preset.
 
-use mashup::engine::{execute_in, CloudEnv, MashupConfig, PlacementPlan, Platform};
+use mashup::engine::{
+    execute_in, CloudEnv, KillReason, MashupConfig, PlacementPlan, Platform, TraceEvent, Tracer,
+};
 use mashup::prelude::*;
+use std::collections::HashMap;
 
 #[test]
 fn storage_failures_are_recovered_from_replicas() {
@@ -30,7 +33,9 @@ fn storage_failures_are_recovered_from_replicas() {
 #[test]
 fn faas_platform_failures_are_recovered_end_to_end() {
     // Inject microVM failures on a full workflow: checkpoints plus segment
-    // retries must carry every task to completion.
+    // retries must carry every task to completion. The flight recorder
+    // proves the recovery mechanism actually ran: every killed invocation
+    // must be followed by a fresh invocation of the same (task, chain).
     let w = srasearch::workflow();
     let mut cfg = MashupConfig::aws(4);
     // High enough that some kills land inside the (short) invocation
@@ -38,10 +43,47 @@ fn faas_platform_failures_are_recovered_end_to_end() {
     // not the exact kill count.
     cfg.provider.faas.failure_prob = 0.3;
     let mut env = CloudEnv::new(&cfg);
+    let tracer = Tracer::new();
+    env.attach_tracer(tracer.clone());
     let plan = PlacementPlan::uniform(&w, Platform::Serverless);
     let report = execute_in(&mut env, &cfg, &w, &plan, "flaky-faas");
     assert_eq!(report.tasks.len(), w.task_count());
     assert!(env.faas.kills() > 0, "failures should have fired");
+
+    // Reconstruct kill -> restart span chains from the trace.
+    let records = tracer.take();
+    let mut chain_of: HashMap<u64, (String, u32)> = HashMap::new();
+    let mut segments: Vec<(u64, String, u32)> = Vec::new(); // (seq, task, chain)
+    let mut kills: Vec<(u64, u64, KillReason)> = Vec::new(); // (seq, inv, reason)
+    for r in &records {
+        match &r.event {
+            TraceEvent::SegmentStart {
+                task, chain, inv, ..
+            } => {
+                chain_of.insert(*inv, (task.clone(), *chain));
+                segments.push((r.seq, task.clone(), *chain));
+            }
+            TraceEvent::FnKill { id, reason, .. } => kills.push((r.seq, *id, *reason)),
+            _ => {}
+        }
+    }
+    assert!(
+        kills.iter().any(|(_, _, r)| *r == KillReason::Injected),
+        "expected injected kills in the trace"
+    );
+    for (kill_seq, inv, reason) in &kills {
+        let (task, chain) = chain_of
+            .get(inv)
+            .unwrap_or_else(|| panic!("kill of invocation {inv} that never ran a segment"));
+        assert!(
+            segments
+                .iter()
+                .any(|(seq, t, c)| seq > kill_seq && t == task && c == chain),
+            "invocation {inv} of '{task}' chain {chain} was killed ({reason:?} at seq \
+             {kill_seq}) but never restarted"
+        );
+    }
+
     // A clean run is never slower than the failure-ridden one.
     let mut clean = MashupConfig::aws(4);
     clean.provider.faas.failure_prob = 0.0;

@@ -1,0 +1,80 @@
+//! Golden flight-recorder traces for the paper workflows.
+//!
+//! Each fixture under `tests/trace_fixtures/golden/` is the full flow-level
+//! JSONL trace of a Mashup run on the 4-node AWS-like configuration —
+//! every task dispatch, function invocation, checkpoint, storage transfer,
+//! and billing event, with the PDC's decision provenance. The comparison
+//! is byte-for-byte: any drift in scheduling order, billing math, or the
+//! serialization format shows up as a diff here before it can silently
+//! change figures.
+//!
+//! To re-bless after an *intentional* behavior change:
+//!
+//! ```text
+//! MASHUP_BLESS_TRACES=1 cargo test --test trace_golden
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use mashup_core::{Mashup, MashupConfig, Tracer};
+use mashup_sim::trace::{from_jsonl, to_jsonl};
+use mashup_workflows::{epigenomics, genome1000, srasearch};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/trace_fixtures/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+fn record(workflow: &mashup_dag::Workflow) -> String {
+    let tracer = Tracer::new();
+    Mashup::new(MashupConfig::aws(4))
+        .with_tracer(tracer.clone())
+        .run(workflow);
+    to_jsonl(&tracer.take())
+}
+
+fn check_golden(name: &str, workflow: &mashup_dag::Workflow) {
+    let path = golden_path(name);
+    let actual = record(workflow);
+    if std::env::var_os("MASHUP_BLESS_TRACES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        std::fs::write(&path, &actual).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `MASHUP_BLESS_TRACES=1 cargo test --test trace_golden` \
+             to record fixtures)",
+            path.display()
+        )
+    });
+    // The serialized form must round-trip through the parser losslessly.
+    let parsed = from_jsonl(&actual).expect("trace parses");
+    assert_eq!(
+        to_jsonl(&parsed),
+        actual,
+        "{name}: JSONL round-trip lost information"
+    );
+    assert_eq!(
+        golden, actual,
+        "{name}: trace drifted from the golden fixture (bless with MASHUP_BLESS_TRACES=1 \
+         if the change is intentional)"
+    );
+}
+
+#[test]
+fn genome1000_trace_matches_golden() {
+    check_golden("genome1000", &genome1000::workflow());
+}
+
+#[test]
+fn srasearch_trace_matches_golden() {
+    check_golden("srasearch", &srasearch::workflow());
+}
+
+#[test]
+fn epigenomics_trace_matches_golden() {
+    check_golden("epigenomics", &epigenomics::workflow());
+}

@@ -1,0 +1,169 @@
+//! The trace-invariant oracle against every paper workflow × strategy.
+//!
+//! Positive direction: a flow-level trace of each paper workflow under each
+//! execution strategy must satisfy every invariant — precedence, capacity,
+//! checkpoint-window math, warm-start eligibility, and cost reconciliation.
+//!
+//! Negative direction: corrupting a real trace in targeted ways must
+//! trip the *specific* checker that guards the corrupted property, so the
+//! oracle cannot rot into a rubber stamp.
+
+use mashup_bench::{run_strategy_traced, Strategy};
+use mashup_core::trace::{check, Violation, CAPACITY, CKPT_WINDOW, COST, PRECEDENCE, WARM_START};
+use mashup_core::{MashupConfig, TraceEvent, TraceRecord, Tracer, WorkflowReport};
+use mashup_dag::Workflow;
+use mashup_workflows::{epigenomics, genome1000, srasearch};
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Traditional,
+    Strategy::ServerlessOnly,
+    Strategy::Mashup,
+    Strategy::Kepler,
+    Strategy::Pegasus,
+];
+
+fn traced_run(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    strategy: Strategy,
+) -> (WorkflowReport, Vec<TraceRecord>) {
+    let tracer = Tracer::new();
+    let report = run_strategy_traced(cfg, workflow, strategy, &tracer);
+    (report, tracer.take())
+}
+
+fn assert_clean(workflow: &Workflow) {
+    let cfg = MashupConfig::aws(4);
+    for strategy in STRATEGIES {
+        let (report, records) = traced_run(&cfg, workflow, strategy);
+        assert!(!records.is_empty(), "{}: empty trace", strategy.label());
+        let violations = check(&cfg, workflow, &report, &records);
+        assert!(
+            violations.is_empty(),
+            "{} on '{}' violates invariants:\n{}",
+            strategy.label(),
+            workflow.name,
+            render(&violations)
+        );
+    }
+}
+
+fn render(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn genome1000_holds_all_invariants_under_every_strategy() {
+    assert_clean(&genome1000::workflow());
+}
+
+#[test]
+fn srasearch_holds_all_invariants_under_every_strategy() {
+    assert_clean(&srasearch::workflow());
+}
+
+#[test]
+fn epigenomics_holds_all_invariants_under_every_strategy() {
+    assert_clean(&epigenomics::workflow());
+}
+
+// --- negative direction: seeded corruptions trip the right checker ------
+
+fn codes(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.code).collect()
+}
+
+#[test]
+fn reordering_a_task_start_trips_the_precedence_checker() {
+    let cfg = MashupConfig::aws(4);
+    let w = srasearch::workflow();
+    let (report, mut records) = traced_run(&cfg, &w, Strategy::Traditional);
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    // Pull a phase-1 task's start ahead of its producers by giving it the
+    // lowest sequence number in the trace.
+    let start = records
+        .iter()
+        .position(|r| matches!(&r.event, TraceEvent::TaskStart { phase: 1, .. }))
+        .expect("a dependent task started");
+    records[start].seq = 0;
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&PRECEDENCE), "got: {}", render(&v));
+}
+
+#[test]
+fn inflating_segment_memory_trips_the_capacity_checker() {
+    let cfg = MashupConfig::aws(4);
+    let w = srasearch::workflow();
+    let (report, mut records) = traced_run(&cfg, &w, Strategy::ServerlessOnly);
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    let r = records
+        .iter_mut()
+        .find(|r| matches!(&r.event, TraceEvent::SegmentStart { .. }))
+        .expect("serverless segments ran");
+    if let TraceEvent::SegmentStart { mem_gb, .. } = &mut r.event {
+        // Claim more RAM than the function cap can hold.
+        *mem_gb = cfg.provider.faas.memory_gb * 4.0;
+    }
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&CAPACITY), "got: {}", render(&v));
+}
+
+#[test]
+fn dropping_checkpoints_trips_the_window_checker() {
+    // Shrink the function time cap so SRAsearch's long components must
+    // checkpoint and resume across invocations.
+    let mut cfg = MashupConfig::aws(4);
+    cfg.provider.faas.timeout_secs = 120.0;
+    let w = srasearch::workflow();
+    let (report, mut records) = traced_run(&cfg, &w, Strategy::ServerlessOnly);
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::CheckpointResume { .. })),
+        "the shrunken cap must force checkpoint chains"
+    );
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    // Erase the checkpoints; the resumes now restore state nobody wrote.
+    records.retain(|r| !matches!(&r.event, TraceEvent::Checkpoint { .. }));
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&CKPT_WINDOW), "got: {}", render(&v));
+}
+
+#[test]
+fn forging_a_warm_start_trips_the_warm_start_checker() {
+    let cfg = MashupConfig::aws(4);
+    let w = srasearch::workflow();
+    let (report, mut records) = traced_run(&cfg, &w, Strategy::ServerlessOnly);
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    // The first invocation of each code is necessarily cold; claim warm.
+    let r = records
+        .iter_mut()
+        .find(|r| matches!(&r.event, TraceEvent::FnStart { cold: true, .. }))
+        .expect("cold starts happened");
+    if let TraceEvent::FnStart { cold, .. } = &mut r.event {
+        *cold = false;
+    }
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&WARM_START), "got: {}", render(&v));
+}
+
+#[test]
+fn scaling_billed_seconds_trips_the_cost_checker() {
+    let cfg = MashupConfig::aws(4);
+    let w = srasearch::workflow();
+    let (report, mut records) = traced_run(&cfg, &w, Strategy::ServerlessOnly);
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    let r = records
+        .iter_mut()
+        .find(|r| matches!(&r.event, TraceEvent::FnEnd { .. }))
+        .expect("functions completed");
+    if let TraceEvent::FnEnd { billed_secs, .. } = &mut r.event {
+        *billed_secs *= 1.5;
+    }
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&COST), "got: {}", render(&v));
+}

@@ -14,6 +14,10 @@
 //!   ids.
 //! * **ambient-rng** — `thread_rng`, `rand::random`, `from_entropy`,
 //!   `OsRng`: randomness must flow from the seeded `SeedSource` streams.
+//! * **adhoc-telemetry** — `println!` / `eprintln!` / `dbg!`: the simulated
+//!   substrates must report through the structured flight recorder
+//!   (`mashup_sim::Tracer`), not ad-hoc prints that bypass levels,
+//!   determinism guarantees, and the exporters.
 //!
 //! A genuinely safe use (a keyed-lookup-only map, an observability timer)
 //! is exempted by a `// lint: allow(<rule>)` comment on the same line or
@@ -55,6 +59,12 @@ const RULES: &[Rule] = &[
         name: "ambient-rng",
         patterns: &["thread_rng", "rand::random", "from_entropy", "OsRng"],
         why: "randomness must flow from the seeded SeedSource streams",
+    },
+    Rule {
+        name: "adhoc-telemetry",
+        // "println!" also substring-matches "eprintln!".
+        patterns: &["println!", "dbg!"],
+        why: "substrates report through the structured Tracer, not ad-hoc prints",
     },
 ];
 
@@ -207,6 +217,9 @@ mod tests {
             ),
             ("ambient-rng", "let mut rng = thread_rng();"),
             ("ambient-rng", "let x: f64 = rand::random();"),
+            ("adhoc-telemetry", "println!(\"scheduling {task}\");"),
+            ("adhoc-telemetry", "eprintln!(\"warn: retry {n}\");"),
+            ("adhoc-telemetry", "dbg!(&queue.len());"),
         ];
         for (rule, line) in seeded {
             let hits = scan_str(line);
