@@ -30,6 +30,10 @@ pub enum Code {
     PatternMismatch,
     /// A task reads input bytes no producer (or initial dataset) provides.
     MissingConsumerData,
+    /// A very wide phase (or workflow) lacks batching-friendly structure:
+    /// its tasks carry distinct code identities, so schedulers and warm
+    /// pools cannot group them.
+    ScaleStructure,
     /// The plan leaves a task without a platform assignment.
     UnassignedTask,
     /// A FaaS-placed task cannot fit the timeout window even with
@@ -49,7 +53,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in numeric order (fixture tests assert full coverage).
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 17] = [
         Code::EmptyStructure,
         Code::NotEarlierPhase,
         Code::DanglingReference,
@@ -59,6 +63,7 @@ impl Code {
         Code::DuplicateTaskName,
         Code::PatternMismatch,
         Code::MissingConsumerData,
+        Code::ScaleStructure,
         Code::UnassignedTask,
         Code::FaasWindowInfeasible,
         Code::FaasMemoryExceeded,
@@ -80,6 +85,7 @@ impl Code {
             Code::DuplicateTaskName => "M106",
             Code::PatternMismatch => "M107",
             Code::MissingConsumerData => "M108",
+            Code::ScaleStructure => "M109",
             Code::UnassignedTask => "M201",
             Code::FaasWindowInfeasible => "M202",
             Code::FaasMemoryExceeded => "M203",
@@ -90,14 +96,16 @@ impl Code {
         }
     }
 
-    /// The canonical severity of the code. `M108`/`M204` are advisory (the
-    /// run still completes, just suspiciously); everything else stops the
-    /// simulation before it starts. `M303` is an error in its
-    /// nothing-can-start form and downgraded to a warning by the checks for
-    /// the ramp-past-keep-alive form.
+    /// The canonical severity of the code. `M108`/`M109`/`M204` are
+    /// advisory (the run still completes, just suspiciously); everything
+    /// else stops the simulation before it starts. `M303` is an error in
+    /// its nothing-can-start form and downgraded to a warning by the checks
+    /// for the ramp-past-keep-alive form.
     pub fn severity(self) -> Severity {
         match self {
-            Code::MissingConsumerData | Code::BoundaryStaging => Severity::Warning,
+            Code::MissingConsumerData | Code::ScaleStructure | Code::BoundaryStaging => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }
@@ -415,7 +423,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(strs, sorted, "Code::ALL must be unique and ordered");
-        assert_eq!(strs.len(), 16);
+        assert_eq!(strs.len(), 17);
     }
 
     #[test]

@@ -114,8 +114,24 @@ pub fn analyze_plan(w: &Workflow, plan: &PlacementPlan, ctx: &PlanContext<'_>) -
     // over the WAN.
     if plan.covers(w) {
         let serverless = |r: TaskRef| plan.platform(r) == Ok(Platform::Serverless);
-        let in_store =
-            |r: TaskRef| serverless(r) || w.consumers(r).iter().any(|&(c, _)| serverless(c));
+        // Memoized per task: evaluating this on demand re-scans the
+        // producer's consumer list for every dependency edge, which is
+        // quadratic on wide fan-outs (each of n workers re-checks the
+        // splitter's n consumers).
+        let in_store: Vec<Vec<bool>> = w
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(pi, phase)| {
+                (0..phase.tasks.len())
+                    .map(|ti| {
+                        let r = TaskRef::new(pi, ti);
+                        serverless(r) || w.consumers(r).iter().any(|&(c, _)| serverless(c))
+                    })
+                    .collect()
+            })
+            .collect();
+        let in_store = |r: TaskRef| in_store[r.phase][r.task];
         let mut boundary_bytes = 0.0;
         for r in w.task_refs() {
             if serverless(r) {

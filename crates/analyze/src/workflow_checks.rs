@@ -16,6 +16,12 @@ fn task_loc(w: &Workflow, phase: usize, task: usize) -> Location {
     }
 }
 
+/// M109: a phase wider than this must carry batching-friendly structure
+/// (shared `code_family` identities) or it gets a scale warning — wide
+/// phases of structurally distinct tasks defeat warm pools, bulk event
+/// scheduling, and probe sharing.
+const SCALE_WIDTH_THRESHOLD: usize = 64;
+
 /// Runs every M1xx check over `w`, collecting all findings.
 pub fn analyze_workflow(w: &Workflow) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -135,6 +141,36 @@ pub fn analyze_workflow(w: &Workflow) -> Vec<Diagnostic> {
                 }
             }
         }
+        // M109: wide phases need batching-friendly structure. A task's code
+        // identity is its `code_family` when declared, else its name (every
+        // nameless-family task is its own identity). Advisory — everything
+        // still runs, but at 10^5-wide phases the grouped forms are what
+        // keep planning and simulation fast.
+        if phase.tasks.len() > SCALE_WIDTH_THRESHOLD {
+            let identities: BTreeSet<&str> = phase
+                .tasks
+                .iter()
+                .map(|t| t.profile.code_family.as_deref().unwrap_or(t.name.as_str()))
+                .collect();
+            if identities.len() > SCALE_WIDTH_THRESHOLD {
+                out.push(
+                    Diagnostic::new(
+                        Code::ScaleStructure,
+                        Location::Phase { phase: pi },
+                        format!(
+                            "phase has {} tasks with {} distinct code identities; warm \
+                             pools, bulk scheduling, and probe sharing cannot group them",
+                            phase.tasks.len(),
+                            identities.len()
+                        ),
+                    )
+                    .with_help(
+                        "give same-code tasks a shared profile.code_family so batch-friendly \
+                         paths can treat them as one population",
+                    ),
+                );
+            }
+        }
     }
     out
 }
@@ -204,6 +240,30 @@ mod tests {
         assert!(got.contains(&Code::NotEarlierPhase));
         assert!(got.contains(&Code::DanglingReference));
         assert!(got.contains(&Code::PatternMismatch));
+    }
+
+    #[test]
+    fn wide_ungrouped_phase_warns_and_code_families_silence_it() {
+        let wide = |family: Option<&str>| {
+            let mut b = WorkflowBuilder::new("wide");
+            b.initial_input_bytes(1e6);
+            b.begin_phase();
+            for i in 0..(super::SCALE_WIDTH_THRESHOLD + 1) {
+                let mut p = TaskProfile::trivial();
+                if let Some(f) = family {
+                    p = p.family(f);
+                }
+                b.add_task(Task::new(format!("t{i}"), 1, p));
+            }
+            b.build().expect("valid")
+        };
+        // 65 tasks, 65 distinct identities: M109.
+        let diags = analyze_workflow(&wide(None));
+        assert_eq!(codes(&diags), vec![Code::ScaleStructure]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert!(diags[0].message.contains("65 tasks"));
+        // Same width, one shared code family: silent.
+        assert!(analyze_workflow(&wide(Some("stencil"))).is_empty());
     }
 
     #[test]

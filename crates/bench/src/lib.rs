@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod figures;
 pub mod plan_cache;
 pub mod preflight;
+pub mod scale;
 pub mod strategies;
 pub mod sweep;
 pub mod table;

@@ -20,7 +20,9 @@ use crate::cost::CostMeter;
 use crate::pricing::InstanceType;
 use crate::storage::ObjectStore;
 use mashup_sim::trace::{TraceEvent, Tracer};
-use mashup_sim::{jitter_factor, SeedSource, SharedLink, SimDuration, SimTime, Simulation};
+use mashup_sim::{
+    jitter_factor, EventFn, SeedSource, SharedLink, SimDuration, SimTime, Simulation,
+};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -386,6 +388,19 @@ impl VmCluster {
         let spec = Rc::new(spec);
         let mut rng = self.seeds.child(&spec.label).stream("cluster-run");
 
+        // The input branch is component-independent; when there is no input
+        // transfer, the whole fan-out fires at the current instant and can
+        // be bulk-scheduled as one batch (O(1) per component instead of a
+        // heap operation each). Dispatch order is unchanged: the batch
+        // preserves component order and nothing else is scheduled between
+        // the loop iterations it replaces.
+        let no_input = spec.input_bytes <= 0.0 || spec.input == ClusterInput::None;
+        let mut batch: Vec<EventFn> = if no_input {
+            Vec::with_capacity(spec.components)
+        } else {
+            Vec::new()
+        };
+
         for comp in 0..spec.components {
             let node_idx = comp % n_nodes;
             let cluster = self.clone();
@@ -421,31 +436,37 @@ impl VmCluster {
                     );
                     let thrash = load as f64 * spec.memory_gb > cluster.cfg.instance.memory_gb
                         && spec.contention_coeff > 0.0;
-                    cluster.tracer().emit(
-                        sim.now(),
-                        TraceEvent::VmCompStart {
-                            task: spec.label.clone(),
-                            sub: spec.subcluster,
-                            node: node_idx,
-                            load,
-                            mem_gb: spec.memory_gb,
-                            factor,
-                            thrash,
-                        },
-                    );
+                    // Build the event only when recording: the label clone
+                    // is per-component heap churn at million-task scale.
+                    if cluster.tracer().is_on() {
+                        cluster.tracer().emit(
+                            sim.now(),
+                            TraceEvent::VmCompStart {
+                                task: spec.label.clone(),
+                                sub: spec.subcluster,
+                                node: node_idx,
+                                load,
+                                mem_gb: spec.memory_gb,
+                                factor,
+                                thrash,
+                            },
+                        );
+                    }
                     let secs = spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
                     let dur = SimDuration::from_secs(secs);
                     accum.borrow_mut().compute_secs += secs;
                     sim.schedule_in(dur, move |sim| {
                         cluster.subs[spec.subcluster].node_loads.borrow_mut()[node_idx] -= 1;
-                        cluster.tracer().emit(
-                            sim.now(),
-                            TraceEvent::VmCompEnd {
-                                task: spec.label.clone(),
-                                sub: spec.subcluster,
-                                node: node_idx,
-                            },
-                        );
+                        if cluster.tracer().is_on() {
+                            cluster.tracer().emit(
+                                sim.now(),
+                                TraceEvent::VmCompEnd {
+                                    task: spec.label.clone(),
+                                    sub: spec.subcluster,
+                                    node: node_idx,
+                                },
+                            );
+                        }
                         // --- output ---
                         let write_begin = sim.now();
                         let finish = {
@@ -489,8 +510,8 @@ impl VmCluster {
                     });
                 }
             };
-            if spec.input_bytes <= 0.0 || spec.input == ClusterInput::None {
-                sim.schedule_now(after_read);
+            if no_input {
+                batch.push(Box::new(after_read));
             } else if spec.input == ClusterInput::Wan {
                 let s = store.clone().expect("store checked above");
                 s.read(
@@ -514,6 +535,9 @@ impl VmCluster {
                     after_read,
                 );
             }
+        }
+        if no_input {
+            sim.schedule_batch_now(batch);
         }
     }
 }

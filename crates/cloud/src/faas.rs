@@ -257,17 +257,21 @@ impl FaasPlatform {
                 cold,
                 start_latency: SimDuration::from_secs(latency),
             };
-            platform.tracer().emit(
-                sim.now(),
-                TraceEvent::FnStart {
-                    id,
-                    code: code_key.clone(),
-                    cold,
-                    latency_secs: latency,
-                    ready_secs: ready_at.as_secs(),
-                    deadline_secs: deadline.as_secs(),
-                },
-            );
+            // Build the event only when recording: the code-key clone is
+            // per-invocation heap churn at million-task scale.
+            if platform.tracer().is_on() {
+                platform.tracer().emit(
+                    sim.now(),
+                    TraceEvent::FnStart {
+                        id,
+                        code: code_key.clone(),
+                        cold,
+                        latency_secs: latency,
+                        ready_secs: ready_at.as_secs(),
+                        deadline_secs: deadline.as_secs(),
+                    },
+                );
+            }
             // Watchdog enforcing the execution time cap.
             let p2 = platform.clone();
             sim.schedule_at(deadline, move |sim| {
@@ -384,15 +388,17 @@ impl FaasPlatform {
                     s.function_seconds += latency;
                     s.cold_starts += 1;
                 }
-                platform.tracer().emit(
-                    sim.now(),
-                    TraceEvent::FnPrewarm {
-                        code: key.clone(),
-                        latency_secs: latency,
-                        warm_secs: warm_at.as_secs(),
-                        expires_secs: warm_at.as_secs() + platform.cfg.keep_alive_secs,
-                    },
-                );
+                if platform.tracer().is_on() {
+                    platform.tracer().emit(
+                        sim.now(),
+                        TraceEvent::FnPrewarm {
+                            code: key.clone(),
+                            latency_secs: latency,
+                            warm_secs: warm_at.as_secs(),
+                            expires_secs: warm_at.as_secs() + platform.cfg.keep_alive_secs,
+                        },
+                    );
+                }
                 let p2 = platform.clone();
                 sim.schedule_at(warm_at, move |sim| {
                     let expiry = sim.now() + SimDuration::from_secs(p2.cfg.keep_alive_secs);

@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 // Shard maps are keyed by content fingerprints and never order-iterated,
 // so iteration order cannot leak into simulated results.
 // lint: allow(hash-collections)
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 // Wall-clock time feeds the hit/miss observability counters only; no
@@ -45,13 +45,26 @@ const SHARDS: usize = 16;
 /// sub-cluster splits, reduced).
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmProfileEntry {
-    /// Each task's best cluster-side makespan across the splits.
-    pub best_task_vm: BTreeMap<String, f64>,
+    /// Each task's best cluster-side makespan across the splits, indexed by
+    /// flat task id (phase-major order, matching `Workflow::task_refs`).
+    pub best_task_vm: Vec<f64>,
     /// The winning sub-cluster split.
     pub subclusters: usize,
     /// Makespan of the winning profiling pass, seconds.
     pub vm_makespan_secs: f64,
     /// Total expense of all profiling passes.
+    pub expense: Expense,
+}
+
+/// The memoized result of profiling one phase in isolation (the
+/// incremental-replan analogue of the full VM profiling pass): per-task
+/// best cluster-side makespans across the k ∈ {1,2,4} splits, for the
+/// tasks of a single phase started together at t = 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfileEntry {
+    /// Best makespan per task, indexed by position within the phase.
+    pub task_secs: Vec<f64>,
+    /// Total expense of the scoped profiling passes.
     pub expense: Expense,
 }
 
@@ -145,7 +158,7 @@ impl SectionStats {
     }
 }
 
-/// A point-in-time snapshot of all three stages.
+/// A point-in-time snapshot of all stages.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Calibration micro-batch stage.
@@ -154,27 +167,39 @@ pub struct CacheStats {
     pub vm_profile: SectionStats,
     /// Per-task serverless probe stage.
     pub probes: SectionStats,
+    /// Scoped per-phase profiling stage (incremental replan).
+    #[serde(default)]
+    pub phase_profiles: SectionStats,
 }
 
 impl CacheStats {
     /// Total hits across stages.
     pub fn hits(&self) -> u64 {
-        self.calibration.hits + self.vm_profile.hits + self.probes.hits
+        self.calibration.hits + self.vm_profile.hits + self.probes.hits + self.phase_profiles.hits
     }
 
     /// Total misses across stages.
     pub fn misses(&self) -> u64 {
-        self.calibration.misses + self.vm_profile.misses + self.probes.misses
+        self.calibration.misses
+            + self.vm_profile.misses
+            + self.probes.misses
+            + self.phase_profiles.misses
     }
 
     /// Total stored entries across stages.
     pub fn entries(&self) -> u64 {
-        self.calibration.entries + self.vm_profile.entries + self.probes.entries
+        self.calibration.entries
+            + self.vm_profile.entries
+            + self.probes.entries
+            + self.phase_profiles.entries
     }
 
     /// Total miss-side compute seconds across stages.
     pub fn compute_secs(&self) -> f64 {
-        self.calibration.compute_secs + self.vm_profile.compute_secs + self.probes.compute_secs
+        self.calibration.compute_secs
+            + self.vm_profile.compute_secs
+            + self.probes.compute_secs
+            + self.phase_profiles.compute_secs
     }
 }
 
@@ -184,6 +209,7 @@ pub struct PlanCache {
     calibration: Section<ModelFactors>,
     vm_profile: Section<VmProfileEntry>,
     probes: Section<ProbeEntry>,
+    phase_profiles: Section<PhaseProfileEntry>,
 }
 
 impl PlanCache {
@@ -193,6 +219,7 @@ impl PlanCache {
             calibration: Section::new(),
             vm_profile: Section::new(),
             probes: Section::new(),
+            phase_profiles: Section::new(),
         }
     }
 
@@ -215,12 +242,22 @@ impl PlanCache {
         self.probes.get_or_compute(key, compute)
     }
 
+    /// Scoped phase-profiling result for `key`, computing on a miss.
+    pub fn phase_profile(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> PhaseProfileEntry,
+    ) -> PhaseProfileEntry {
+        self.phase_profiles.get_or_compute(key, compute)
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             calibration: self.calibration.stats(),
             vm_profile: self.vm_profile.stats(),
             probes: self.probes.stats(),
+            phase_profiles: self.phase_profiles.stats(),
         }
     }
 }

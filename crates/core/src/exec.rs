@@ -325,7 +325,7 @@ fn prewarm_next_phase(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, phase_
 
 /// Sum of per-component input GET requests implied by the dependency
 /// patterns (1 for initial tasks reading the staged dataset).
-fn input_requests(w: &Workflow, r: TaskRef) -> u64 {
+pub(crate) fn input_requests(w: &Workflow, r: TaskRef) -> u64 {
     let t = w.task(r);
     if t.deps.is_empty() {
         return 1;
@@ -379,15 +379,19 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskR
     let task_name = driver.borrow().workflow.task(r).name.clone();
     {
         let d = driver.borrow();
-        d.tracer.emit(
-            sim.now(),
-            TraceEvent::TaskStart {
-                task: task_name.clone(),
-                phase: r.phase,
-                platform: "serverless".into(),
-                components: spec.components,
-            },
-        );
+        // Build the event only when recording: the strings it carries are
+        // per-task heap churn at million-task scale.
+        if d.tracer.is_on() {
+            d.tracer.emit(
+                sim.now(),
+                TraceEvent::TaskStart {
+                    task: task_name.clone(),
+                    phase: r.phase,
+                    platform: "serverless".into(),
+                    components: spec.components,
+                },
+            );
+        }
     }
     let faas = handles.faas.clone();
     let store = handles.store.clone();
@@ -483,15 +487,17 @@ fn spawn_on_cluster(
     let task_name = driver.borrow().workflow.task(r).name.clone();
     {
         let d = driver.borrow();
-        d.tracer.emit(
-            sim.now(),
-            TraceEvent::TaskStart {
-                task: task_name.clone(),
-                phase: r.phase,
-                platform: "vm".into(),
-                components: spec.components,
-            },
-        );
+        if d.tracer.is_on() {
+            d.tracer.emit(
+                sim.now(),
+                TraceEvent::TaskStart {
+                    task: task_name.clone(),
+                    phase: r.phase,
+                    platform: "vm".into(),
+                    components: spec.components,
+                },
+            );
+        }
     }
     let store = handles.store.clone();
     let cluster = handles.cluster.clone();
@@ -530,12 +536,14 @@ fn spawn_on_cluster(
 fn finish_task(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, r: TaskRef, report: TaskReport) {
     let next_phase = {
         let mut d = driver.borrow_mut();
-        d.tracer.emit(
-            sim.now(),
-            TraceEvent::TaskEnd {
-                task: report.name.clone(),
-            },
-        );
+        if d.tracer.is_on() {
+            d.tracer.emit(
+                sim.now(),
+                TraceEvent::TaskEnd {
+                    task: report.name.clone(),
+                },
+            );
+        }
         d.reports.push(report);
         d.remaining_in_phase -= 1;
         if d.remaining_in_phase == 0 {

@@ -37,7 +37,9 @@ mod report;
 pub mod trace;
 
 pub use analysis::{engine_params, preflight};
-pub use cache::{CacheStats, PlanCache, ProbeEntry, SectionStats, VmProfileEntry};
+pub use cache::{
+    CacheStats, PhaseProfileEntry, PlanCache, ProbeEntry, SectionStats, VmProfileEntry,
+};
 pub use config::{CloudEnv, MashupConfig};
 pub use engine::{Mashup, MashupOutcome};
 pub use exec::{
@@ -49,7 +51,7 @@ pub use mashup_sim::{KillReason, TraceEvent, TraceRecord, Tracer};
 pub use naive::plan_without_pdc;
 pub use pdc::{
     calibrate, estimate_serverless_time, fit_gamma, ModelFactors, Objective, Pdc, PdcReport,
-    TaskDecision,
+    ReplanStats, TaskDecision,
 };
 pub use placement::{PlacementPlan, Platform, UnassignedTask};
 pub use report::{improvement_pct, TaskReport, WorkflowReport};

@@ -24,12 +24,15 @@
 //! * alternative objectives (expense, or equal weight on both) reproduce
 //!   the Fig. 5 study.
 
-use crate::cache::{PlanCache, ProbeEntry, VmProfileEntry};
+use crate::cache::{PhaseProfileEntry, PlanCache, ProbeEntry, VmProfileEntry};
 use crate::config::{CloudEnv, MashupConfig};
 use crate::exec::execute_in;
 use crate::fingerprint::{Fingerprint, Fingerprinter};
 use crate::placement::{PlacementPlan, Platform};
-use mashup_cloud::{run_task_on_faas, Expense, FaasRunStats, FaasTaskSpec};
+use mashup_cloud::{
+    run_task_on_faas, ClusterInput, ClusterOutput, ClusterTaskSpec, Expense, FaasRunStats,
+    FaasTaskSpec,
+};
 use mashup_dag::{Task, TaskRef, Workflow};
 use mashup_sim::{SimTime, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
@@ -106,12 +109,26 @@ pub struct PdcReport {
     pub subclusters: usize,
 }
 
+/// Bookkeeping from one [`Pdc::replan`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplanStats {
+    /// Phases whose task content changed and were re-profiled in isolation.
+    pub dirty_phases: usize,
+    /// Decisions carried over verbatim from the previous report.
+    pub reused_decisions: usize,
+    /// Tasks re-decided (re-profiled, probed, estimated) by this call.
+    pub replanned_tasks: usize,
+    /// True when the structure diverged too far and a full `decide` ran.
+    pub full_replan: bool,
+}
+
 /// The Placement Decision Controller.
 pub struct Pdc {
     cfg: MashupConfig,
     objective: Objective,
     cache: Option<Arc<PlanCache>>,
     tracer: Tracer,
+    probe_sharing: bool,
 }
 
 impl Pdc {
@@ -122,6 +139,7 @@ impl Pdc {
             objective: Objective::ExecutionTime,
             cache: None,
             tracer: Tracer::off(),
+            probe_sharing: false,
         }
     }
 
@@ -159,6 +177,29 @@ impl Pdc {
         self
     }
 
+    /// Builder-style: shares serverless probes between tasks declaring the
+    /// same `code_family`. A probe measures one component of a task's code
+    /// on the FaaS platform, so same-family tasks with identical profiles
+    /// are interchangeable probe subjects — at million-task scale a
+    /// generator emitting one family per phase pays one probe per family
+    /// instead of one per task. Off by default: sharing changes probe seeds
+    /// and labels, so opted-out runs stay byte-identical to prior releases.
+    pub fn with_probe_sharing(mut self, enabled: bool) -> Self {
+        self.probe_sharing = enabled;
+        self
+    }
+
+    /// The shared identity a probe is keyed, labelled, and seeded by — the
+    /// task's `code_family` when probe sharing is on and the family is
+    /// declared, `None` (the task stands alone) otherwise.
+    fn probe_identity<'t>(&self, t: &'t Task) -> Option<&'t str> {
+        if self.probe_sharing {
+            t.profile.code_family.as_deref()
+        } else {
+            None
+        }
+    }
+
     /// Like [`Pdc::decide`], but refuses error-diagnosed inputs (M1xx
     /// workflow and M3xx config checks) with a typed
     /// [`AnalysisError`](mashup_analyze::AnalysisError) before any
@@ -174,18 +215,7 @@ impl Pdc {
     /// Runs both profiling steps and produces the placement plan.
     pub fn decide(&self, workflow: &Workflow) -> PdcReport {
         // Step 0: calibrate platform factors with no-op micro-batches.
-        let factors = match &self.cache {
-            Some(c) => {
-                let computed = Cell::new(false);
-                let f = c.calibration(self.calibration_key(), || {
-                    computed.set(true);
-                    calibrate(&self.cfg)
-                });
-                self.trace_cache("calibration", computed.get());
-                f
-            }
-            None => calibrate(&self.cfg),
-        };
+        let factors = self.calibrated_factors();
 
         // Step 1: full VM profiling passes across candidate sub-cluster
         // splits (memoized on workflow + cluster shape + seed).
@@ -202,98 +232,15 @@ impl Pdc {
             None => self.run_vm_profile(workflow),
         };
 
-        // Step 2: single-component serverless probes + decisions.
-        let faas_cfg = &self.cfg.provider.faas;
-        let mut decisions = Vec::new();
+        // Step 2: single-component serverless probes + decisions. Flat ids
+        // are phase-major (see `TaskArena`), matching both the `task_refs`
+        // order and the profile vector's layout.
+        let mut decisions = Vec::with_capacity(workflow.task_count());
         let mut plan = PlacementPlan::new();
-        for r in workflow.task_refs() {
-            let t = workflow.task(r);
-            let t_vm = *vm
-                .best_task_vm
-                .get(&t.name)
-                // The profiling passes execute every task exactly once, and
-                // task names are unique (guaranteed by diagnostic M106).
-                .expect("profiling passes cover every task");
-
-            // Memory rule: oversized components can never run serverless.
-            if t.profile.memory_gb > faas_cfg.memory_gb {
-                decisions.push(TaskDecision {
-                    task: r,
-                    name: t.name.clone(),
-                    components: t.components,
-                    t_vm_secs: t_vm,
-                    t_serverless_est_secs: f64::INFINITY,
-                    probe_secs: 0.0,
-                    probe_busy_secs: 0.0,
-                    forced_vm_reason: Some(format!(
-                        "memory {} GiB exceeds function cap {} GiB",
-                        t.profile.memory_gb, faas_cfg.memory_gb
-                    )),
-                    platform: Platform::VmCluster,
-                });
-                plan.set(r, Platform::VmCluster);
-                continue;
-            }
-
-            let probe = match &self.cache {
-                Some(c) => {
-                    let computed = Cell::new(false);
-                    let p = c.probe(self.probe_key(r, t), || {
-                        computed.set(true);
-                        self.run_probe(workflow, r)
-                    });
-                    self.trace_cache(&format!("probe:{}", t.name), computed.get());
-                    p
-                }
-                None => self.run_probe(workflow, r),
-            };
-            let (probe_secs, probe_busy_secs) = (probe.probe_secs, probe.probe_busy_secs);
-
-            // Short-task rule with the recurring/warm-pool exception.
-            let single_runtime = t.profile.compute_secs_serverless() / faas_cfg.core_speed;
-            let short = single_runtime < self.cfg.short_task_threshold_secs;
-            let exception = t.profile.recurring && t.components > factors.burst;
-            if short && !exception {
-                decisions.push(TaskDecision {
-                    task: r,
-                    name: t.name.clone(),
-                    components: t.components,
-                    t_vm_secs: t_vm,
-                    t_serverless_est_secs: f64::INFINITY,
-                    probe_secs,
-                    probe_busy_secs,
-                    forced_vm_reason: Some(format!(
-                        "short-running ({single_runtime:.2} s < {} s) without the \
-                         recurring-task exception",
-                        self.cfg.short_task_threshold_secs
-                    )),
-                    platform: Platform::VmCluster,
-                });
-                plan.set(r, Platform::VmCluster);
-                continue;
-            }
-
-            let est = estimate_serverless_time(
-                &factors,
-                t.components,
-                probe_secs,
-                t.profile.io_bytes(),
-                self.cfg.conservative_cold_start_secs,
-            );
-
-            let platform = self.choose(&factors, t_vm, est, t.components, probe_busy_secs);
-            plan.set(r, platform);
-            decisions.push(TaskDecision {
-                task: r,
-                name: t.name.clone(),
-                components: t.components,
-                t_vm_secs: t_vm,
-                t_serverless_est_secs: est,
-                probe_secs,
-                probe_busy_secs,
-                forced_vm_reason: None,
-                platform,
-            });
+        for (flat, r) in workflow.task_refs().enumerate() {
+            let d = self.decide_task(workflow, r, vm.best_task_vm[flat], &factors);
+            plan.set(r, d.platform);
+            decisions.push(d);
         }
 
         // The boundary-tax refinement reasons in seconds, so it only
@@ -308,11 +255,136 @@ impl Pdc {
             );
         }
 
-        // Decision provenance, recorded after the boundary refinement so
-        // each record carries the task's *final* platform and reason.
-        // Forced decisions never estimated a serverless time; their
-        // infinite sentinel is recorded as -1 (JSON has no infinity).
-        for d in &decisions {
+        self.trace_decisions(&decisions);
+
+        PdcReport {
+            factors,
+            decisions,
+            plan,
+            profiling_expense: vm.expense,
+            profiling_vm_makespan_secs: vm.vm_makespan_secs,
+            subclusters: vm.subclusters,
+        }
+    }
+
+    /// Calibration factors, memoized when a cache is attached.
+    fn calibrated_factors(&self) -> ModelFactors {
+        match &self.cache {
+            Some(c) => {
+                let computed = Cell::new(false);
+                let f = c.calibration(self.calibration_key(), || {
+                    computed.set(true);
+                    calibrate(&self.cfg)
+                });
+                self.trace_cache("calibration", computed.get());
+                f
+            }
+            None => calibrate(&self.cfg),
+        }
+    }
+
+    /// Decides one task from its measured cluster-side time `t_vm`: the
+    /// memory and short-task rules, the (cached) serverless probe, the
+    /// Eq. 1 estimate, and the objective argmin — shared verbatim by
+    /// [`decide`](Pdc::decide) and [`replan`](Pdc::replan).
+    fn decide_task(
+        &self,
+        workflow: &Workflow,
+        r: TaskRef,
+        t_vm: f64,
+        factors: &ModelFactors,
+    ) -> TaskDecision {
+        let t = workflow.task(r);
+        let faas_cfg = &self.cfg.provider.faas;
+
+        // Memory rule: oversized components can never run serverless.
+        if t.profile.memory_gb > faas_cfg.memory_gb {
+            return TaskDecision {
+                task: r,
+                name: t.name.clone(),
+                components: t.components,
+                t_vm_secs: t_vm,
+                t_serverless_est_secs: f64::INFINITY,
+                probe_secs: 0.0,
+                probe_busy_secs: 0.0,
+                forced_vm_reason: Some(format!(
+                    "memory {} GiB exceeds function cap {} GiB",
+                    t.profile.memory_gb, faas_cfg.memory_gb
+                )),
+                platform: Platform::VmCluster,
+            };
+        }
+
+        let probe = match &self.cache {
+            Some(c) => {
+                let computed = Cell::new(false);
+                let p = c.probe(self.probe_key(r, t), || {
+                    computed.set(true);
+                    self.run_probe(workflow, r)
+                });
+                let ident = self.probe_identity(t).unwrap_or(&t.name);
+                self.trace_cache(&format!("probe:{ident}"), computed.get());
+                p
+            }
+            None => self.run_probe(workflow, r),
+        };
+        let (probe_secs, probe_busy_secs) = (probe.probe_secs, probe.probe_busy_secs);
+
+        // Short-task rule with the recurring/warm-pool exception.
+        let single_runtime = t.profile.compute_secs_serverless() / faas_cfg.core_speed;
+        let short = single_runtime < self.cfg.short_task_threshold_secs;
+        let exception = t.profile.recurring && t.components > factors.burst;
+        if short && !exception {
+            return TaskDecision {
+                task: r,
+                name: t.name.clone(),
+                components: t.components,
+                t_vm_secs: t_vm,
+                t_serverless_est_secs: f64::INFINITY,
+                probe_secs,
+                probe_busy_secs,
+                forced_vm_reason: Some(format!(
+                    "short-running ({single_runtime:.2} s < {} s) without the \
+                     recurring-task exception",
+                    self.cfg.short_task_threshold_secs
+                )),
+                platform: Platform::VmCluster,
+            };
+        }
+
+        let est = estimate_serverless_time(
+            factors,
+            t.components,
+            probe_secs,
+            t.profile.io_bytes(),
+            self.cfg.conservative_cold_start_secs,
+        );
+
+        let platform = self.choose(factors, t_vm, est, t.components, probe_busy_secs);
+        TaskDecision {
+            task: r,
+            name: t.name.clone(),
+            components: t.components,
+            t_vm_secs: t_vm,
+            t_serverless_est_secs: est,
+            probe_secs,
+            probe_busy_secs,
+            forced_vm_reason: None,
+            platform,
+        }
+    }
+
+    /// Decision provenance, recorded after the boundary refinement so each
+    /// record carries the task's *final* platform and reason. Forced
+    /// decisions never estimated a serverless time; their infinite sentinel
+    /// is recorded as -1 (JSON has no infinity).
+    fn trace_decisions(&self, decisions: &[TaskDecision]) {
+        if !self.tracer.is_on() {
+            // Skip building the per-decision events (two string clones
+            // each): at 10^6 decisions the dead allocations are material.
+            return;
+        }
+        for d in decisions {
             self.tracer.emit(
                 SimTime::ZERO,
                 TraceEvent::PdcDecision {
@@ -331,15 +403,123 @@ impl Pdc {
                 },
             );
         }
+    }
 
-        PdcReport {
+    /// Incrementally replans `workflow` — an edited version of `old` —
+    /// reusing `prev`, the report a `decide` (or earlier `replan`) produced
+    /// for `old`.
+    ///
+    /// Phases are barriered, so in the all-VM profiling passes each task's
+    /// measured duration depends only on its *own phase's* content: at a
+    /// phase boundary the fabric links are idle and the node loads zero,
+    /// which makes per-task times start-time-translation invariant. A phase
+    /// whose tasks are content-identical to `old`'s therefore keeps its
+    /// measured times and rule decisions verbatim — even when an upstream
+    /// phase changed — and only dirty phases are re-profiled, in isolation,
+    /// through the memoized scoped phase profiler. The plan-level
+    /// boundary-tax refinement is recomputed globally (it is cheap and
+    /// plan-dependent) after undoing any taxes baked into reused decisions.
+    ///
+    /// Falls back to a full [`decide`](Pdc::decide) when the phase
+    /// structure diverged (different phase shape, or `prev` does not match
+    /// `old`).
+    pub fn replan(
+        &self,
+        old: &Workflow,
+        prev: &PdcReport,
+        workflow: &Workflow,
+    ) -> (PdcReport, ReplanStats) {
+        let aligned = old.phases.len() == workflow.phases.len()
+            && prev.decisions.len() == old.task_count()
+            && old
+                .phases
+                .iter()
+                .zip(&workflow.phases)
+                .all(|(op, np)| op.tasks.len() == np.tasks.len());
+        if !aligned {
+            let report = self.decide(workflow);
+            let stats = ReplanStats {
+                dirty_phases: workflow.phases.len(),
+                reused_decisions: 0,
+                replanned_tasks: report.decisions.len(),
+                full_replan: true,
+            };
+            return (report, stats);
+        }
+
+        let factors = self.calibrated_factors();
+
+        let mut profiling_expense = prev.profiling_expense;
+        let mut decisions = Vec::with_capacity(workflow.task_count());
+        let mut plan = PlacementPlan::new();
+        let mut stats = ReplanStats {
+            dirty_phases: 0,
+            reused_decisions: 0,
+            replanned_tasks: 0,
+            full_replan: false,
+        };
+        // Flat id of the current phase's first decision in `prev`.
+        let mut prev_base = 0usize;
+        for (pi, (op, np)) in old.phases.iter().zip(&workflow.phases).enumerate() {
+            let clean = op
+                .tasks
+                .iter()
+                .zip(&np.tasks)
+                .all(|(a, b)| task_digest(a) == task_digest(b));
+            if clean {
+                for ti in 0..np.tasks.len() {
+                    let mut d = prev.decisions[prev_base + ti].clone();
+                    debug_assert_eq!(d.task, TaskRef::new(pi, ti));
+                    // Boundary taxes are plan-level, not task-level: strip
+                    // any flip the old refinement applied so the global
+                    // refinement below re-derives it against the new plan.
+                    if d.forced_vm_reason
+                        .as_deref()
+                        .is_some_and(|s| s.starts_with("hybrid boundary tax"))
+                    {
+                        d.forced_vm_reason = None;
+                        d.platform = Platform::Serverless;
+                    }
+                    plan.set(d.task, d.platform);
+                    decisions.push(d);
+                }
+                stats.reused_decisions += np.tasks.len();
+            } else {
+                stats.dirty_phases += 1;
+                let profile = self.phase_profile(workflow, pi);
+                add_expense(&mut profiling_expense, &profile.expense);
+                for ti in 0..np.tasks.len() {
+                    let r = TaskRef::new(pi, ti);
+                    let d = self.decide_task(workflow, r, profile.task_secs[ti], &factors);
+                    plan.set(r, d.platform);
+                    decisions.push(d);
+                }
+                stats.replanned_tasks += np.tasks.len();
+            }
+            prev_base += op.tasks.len();
+        }
+
+        if self.objective == Objective::ExecutionTime {
+            refine_boundary_taxes(
+                workflow,
+                &mut decisions,
+                &mut plan,
+                self.cfg.cluster.instance.wan_bps,
+                self.cfg.cluster.instance.master_nic_bps,
+            );
+        }
+
+        self.trace_decisions(&decisions);
+
+        let report = PdcReport {
             factors,
             decisions,
             plan,
-            profiling_expense: vm.expense,
-            profiling_vm_makespan_secs: vm.vm_makespan_secs,
-            subclusters: vm.subclusters,
-        }
+            profiling_expense,
+            profiling_vm_makespan_secs: prev.profiling_vm_makespan_secs,
+            subclusters: prev.subclusters,
+        };
+        (report, stats)
     }
 
     /// Runs the full VM profiling passes, one per candidate sub-cluster
@@ -350,13 +530,14 @@ impl Pdc {
         let mut expense = Expense::default();
         let vm_plan = PlacementPlan::uniform(workflow, Platform::VmCluster);
         let mut best: Option<(usize, crate::report::WorkflowReport)> = None;
-        // Per-task best VM time across the splits: a task's cluster-side
-        // potential is what the *best-configured* cluster gives it (§3
-        // "Mashup recognizes the most optimal VM configuration") — the
-        // all-in-one run can be polluted by co-scheduled siblings thrashing
-        // the same nodes.
-        let mut best_task_vm: std::collections::BTreeMap<String, f64> =
-            std::collections::BTreeMap::new();
+        // Per-task best VM time across the splits, indexed by flat task id
+        // (phase-major, matching `Workflow::task_refs`): a task's
+        // cluster-side potential is what the *best-configured* cluster
+        // gives it (§3 "Mashup recognizes the most optimal VM
+        // configuration") — the all-in-one run can be polluted by
+        // co-scheduled siblings thrashing the same nodes.
+        let arena = workflow.arena();
+        let mut best_task_vm = vec![f64::INFINITY; workflow.task_count()];
         for k in [1usize, 2, 4] {
             if k > self.cfg.cluster.nodes {
                 continue;
@@ -366,7 +547,12 @@ impl Pdc {
             let report = execute_in(&mut env, &tuned, workflow, &vm_plan, "pdc-profiling");
             add_expense(&mut expense, &report.expense);
             for t in &report.tasks {
-                let e = best_task_vm.entry(t.name.clone()).or_insert(f64::INFINITY);
+                let flat = arena
+                    .flat_by_name(&t.name)
+                    // The profiling passes execute every task exactly once,
+                    // and task names are unique (diagnostic M106).
+                    .expect("profiled task exists in the workflow");
+                let e = &mut best_task_vm[flat];
                 *e = e.min(t.makespan_secs());
             }
             // Hysteresis: a finer split must be clearly (≥5 %) better —
@@ -413,16 +599,28 @@ impl Pdc {
         f.digest()
     }
 
-    /// Cache key for one serverless probe: seed + the task's phase index
-    /// (the probe environment's seed offset is phase-derived) + name (the
-    /// FaaS label keys warm pools) + profile + FaaS/storage behaviour + the
-    /// task's resolved checkpoint margin. The cluster is deliberately
-    /// absent, so node-count sweeps reuse every probe.
+    /// Cache key for one serverless probe: seed + the probe subject's
+    /// identity + profile + FaaS/storage behaviour + the task's resolved
+    /// checkpoint margin. The subject is normally phase + task name (the
+    /// probe environment's seed offset is phase-derived and the FaaS label
+    /// keys warm pools); with [probe sharing](Pdc::with_probe_sharing) it
+    /// is the code family alone, phase-independent, so every task of a
+    /// family shares one probe. The cluster is deliberately absent, so
+    /// node-count sweeps reuse every probe.
     fn probe_key(&self, r: TaskRef, t: &Task) -> u128 {
         let mut f = Fingerprinter::new("pdc-probe-v1");
         f.write_u64(self.cfg.seed);
-        f.write_usize(r.phase);
-        f.write_str(&t.name);
+        match self.probe_identity(t) {
+            Some(family) => {
+                // Sentinel phase: no real task ref carries usize::MAX.
+                f.write_usize(usize::MAX);
+                f.write_str(family);
+            }
+            None => {
+                f.write_usize(r.phase);
+                f.write_str(&t.name);
+            }
+        }
         t.profile.fingerprint(&mut f);
         self.cfg.provider.faas.fingerprint(&mut f);
         self.cfg.provider.storage.fingerprint(&mut f);
@@ -468,11 +666,21 @@ impl Pdc {
     /// included, so the probe already prices the time-cap workaround.
     fn run_probe(&self, workflow: &Workflow, r: TaskRef) -> ProbeEntry {
         let t = workflow.task(r);
-        let mut env = CloudEnv::with_seed_offset(&self.cfg, 0x51ed2701 ^ (r.phase as u64) << 8);
+        // A shared probe stands in for its family wherever its tasks sit,
+        // so it uses a fixed seed offset; per-task probes keep their
+        // phase-derived stream.
+        let (offset, label) = match self.probe_identity(t) {
+            Some(family) => (0x51ed2701, format!("probe:{family}")),
+            None => (
+                0x51ed2701 ^ (r.phase as u64) << 8,
+                format!("probe:{}", t.name),
+            ),
+        };
+        let mut env = CloudEnv::with_seed_offset(&self.cfg, offset);
         env.store
             .register_object(env.sim.now(), "probe-input", t.profile.input_bytes);
         let spec = FaasTaskSpec {
-            label: format!("probe:{}", t.name),
+            label,
             components: 1,
             compute_secs: t.profile.compute_secs_serverless(),
             input_bytes: t.profile.input_bytes,
@@ -489,6 +697,112 @@ impl Pdc {
             probe_busy_secs: env.faas.function_seconds(),
         }
     }
+
+    /// Scoped phase profile, memoized when a cache is attached.
+    fn phase_profile(&self, workflow: &Workflow, phase_idx: usize) -> PhaseProfileEntry {
+        match &self.cache {
+            Some(c) => {
+                let computed = Cell::new(false);
+                let e = c.phase_profile(self.phase_profile_key(workflow, phase_idx), || {
+                    computed.set(true);
+                    self.run_phase_profile(workflow, phase_idx)
+                });
+                self.trace_cache(&format!("phase-profile:{phase_idx}"), computed.get());
+                e
+            }
+            None => self.run_phase_profile(workflow, phase_idx),
+        }
+    }
+
+    /// Cache key for one scoped phase profile: seed + cluster shape + the
+    /// phase's task content the all-VM passes can observe — name (the
+    /// jitter stream label), components, profile, and whether the task
+    /// ingests the initial dataset (deps empty ⇒ master NIC, else fabric).
+    /// The phase *index* is deliberately absent: scoped times are
+    /// start-time-translation invariant, so identical phases share one
+    /// entry wherever they sit.
+    fn phase_profile_key(&self, workflow: &Workflow, phase_idx: usize) -> u128 {
+        let mut f = Fingerprinter::new("pdc-phase-profile-v1");
+        f.write_u64(self.cfg.seed);
+        self.cfg.cluster.fingerprint(&mut f);
+        let phase = &workflow.phases[phase_idx];
+        f.write_usize(phase.tasks.len());
+        for t in &phase.tasks {
+            f.write_str(&t.name);
+            f.write_usize(t.components);
+            t.profile.fingerprint(&mut f);
+            f.write_bool(t.deps.is_empty());
+        }
+        f.digest()
+    }
+
+    /// Profiles `workflow.phases[phase_idx]` in isolation: its tasks start
+    /// together at t = 0 on an otherwise idle cluster — exactly the state
+    /// an all-VM pass reaches at the phase's barrier — once per candidate
+    /// sub-cluster split, keeping each task's best time (the same reduction
+    /// as [`run_vm_profile`](Self::run_vm_profile)). Inputs route as the
+    /// full pass routes them: master NIC for initial tasks, fabric
+    /// otherwise; outputs to the fabric.
+    fn run_phase_profile(&self, workflow: &Workflow, phase_idx: usize) -> PhaseProfileEntry {
+        let phase = &workflow.phases[phase_idx];
+        let n = phase.tasks.len();
+        let mut task_secs = vec![f64::INFINITY; n];
+        let mut expense = Expense::default();
+        for k in [1usize, 2, 4] {
+            if k > self.cfg.cluster.nodes {
+                continue;
+            }
+            let tuned = self.cfg.clone().with_subclusters(k);
+            let mut env = CloudEnv::with_seed_offset(&tuned, 0x9e3779b9);
+            env.cluster.start_billing(env.sim.now());
+            let secs: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; n]));
+            for (ti, t) in phase.tasks.iter().enumerate() {
+                let r = TaskRef::new(phase_idx, ti);
+                let spec = ClusterTaskSpec {
+                    label: t.name.clone(),
+                    components: t.components,
+                    compute_secs: t.profile.compute_secs_vm,
+                    input_bytes: t.profile.input_bytes,
+                    output_bytes: t.profile.output_bytes,
+                    io_requests: crate::exec::input_requests(workflow, r),
+                    contention_coeff: t.profile.vm_local_contention,
+                    memory_gb: t.profile.memory_gb,
+                    jitter: t.profile.runtime_jitter,
+                    input: if t.deps.is_empty() {
+                        ClusterInput::Master
+                    } else {
+                        ClusterInput::Fabric
+                    },
+                    output: ClusterOutput::Fabric,
+                    // The full pass hands out sub-clusters round-robin from
+                    // 0 at each phase start.
+                    subcluster: ti % k,
+                };
+                let s2 = secs.clone();
+                env.cluster
+                    .run_task(&mut env.sim, None, spec, move |_, stats| {
+                        s2.borrow_mut()[ti] = stats.end.as_secs() - stats.start.as_secs();
+                    });
+            }
+            env.sim.run();
+            env.cluster.stop_billing(env.sim.now());
+            add_expense(
+                &mut expense,
+                &env.meter
+                    .expense(self.cfg.provider.storage.price_per_gb_month),
+            );
+            for (ti, &s) in secs.borrow().iter().enumerate() {
+                task_secs[ti] = task_secs[ti].min(s);
+            }
+        }
+        PhaseProfileEntry { task_secs, expense }
+    }
+}
+
+/// Content digest of one task (name, components, profile, dependency
+/// wiring) — the unit of phase dirtiness in [`Pdc::replan`].
+fn task_digest(t: &Task) -> u128 {
+    t.fingerprint_digest("pdc-replan-task-v1")
 }
 
 /// Schedules `spec` on `env`'s FaaS platform, runs the simulation to
@@ -530,10 +844,26 @@ fn refine_boundary_taxes(
     if delta == 0.0 {
         return;
     }
-    // Iterate to a fixpoint (flips can remove other tasks' taxes).
+    // Iterate to a fixpoint (flips can remove other tasks' taxes) with a
+    // worklist: a task's tax only changes when a platform in its 2-hop
+    // boundary neighbourhood flips, so instead of re-evaluating every task
+    // each round (quadratic on deep chains) only pending tasks are
+    // re-examined. Sweeps stay in flat task order and a task is pending at
+    // exactly the rounds where the dense fixpoint would have seen a changed
+    // neighbourhood, so the flip order — and every recorded tax value — is
+    // identical to the dense sweep's.
+    let arena = workflow.arena();
+    let n = decisions.len();
+    debug_assert_eq!(n, arena.task_count());
+    let mut pending = vec![true; n];
     for _ in 0..workflow.task_count() {
         let mut flipped = false;
-        for d in decisions.iter_mut() {
+        for i in 0..n {
+            if !std::mem::take(&mut pending[i]) {
+                continue;
+            }
+            let d = &mut decisions[i];
+            debug_assert_eq!(d.task, arena.task_ref(i));
             if d.platform != Platform::Serverless {
                 continue;
             }
@@ -547,6 +877,25 @@ fn refine_boundary_taxes(
                      outweighs the serverless gain ({gain:.1} s)"
                 ));
                 flipped = true;
+                // The flip changes the taxes of r's producers and consumers
+                // — and of *their* consumers/producers, because the
+                // "only serverless sibling" checks look one hop further.
+                for &(p, _) in arena.producers(i) {
+                    pending[p as usize] = true;
+                    for &(c, _) in arena.consumers(arena.task_ref(p as usize)) {
+                        if let Some(cf) = arena.flat(c) {
+                            pending[cf] = true;
+                        }
+                    }
+                }
+                for &(c, _) in arena.consumers(r) {
+                    if let Some(cf) = arena.flat(c) {
+                        pending[cf] = true;
+                        for &(p, _) in arena.producers(cf) {
+                            pending[p as usize] = true;
+                        }
+                    }
+                }
             }
         }
         if !flipped {
@@ -892,6 +1241,123 @@ mod tests {
             expect_serverless,
             "decision must follow the marginal-cost rule: fn ${fn_cost:.4} vs saved ${saved:.4}"
         );
+    }
+
+    /// A deep, wide two-family workflow for the replan tests: `phases`
+    /// phases of `width` serverless-friendly tasks each (generous compute
+    /// so decisions sit far from every rule threshold).
+    fn deep_workflow(phases: usize, width: usize, edited: Option<TaskRef>) -> Workflow {
+        let mut b = mashup_dag::WorkflowBuilder::new("deep");
+        b.initial_input_bytes(1e6);
+        let mut prev: Vec<TaskRef> = Vec::new();
+        for p in 0..phases {
+            b.begin_phase();
+            let mut cur = Vec::with_capacity(width);
+            for i in 0..width {
+                let r = TaskRef::new(p, i);
+                let compute = if edited == Some(r) { 80.0 } else { 40.0 };
+                let t = mashup_dag::Task::new(
+                    format!("t{p}x{i}"),
+                    64,
+                    mashup_dag::TaskProfile::trivial()
+                        .compute(compute)
+                        .family("stencil"),
+                );
+                let added = b.add_task(t);
+                if let Some(&up) = prev.get(i) {
+                    b.depend(added, up, mashup_dag::DependencyPattern::OneToOne);
+                }
+                cur.push(added);
+            }
+            prev = cur;
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn replan_matches_cold_decide_after_single_task_edit() {
+        let c = cfg(4);
+        let old = deep_workflow(4, 3, None);
+        let new = deep_workflow(4, 3, Some(TaskRef::new(2, 1)));
+        let pdc = Pdc::new(c);
+        let prev = pdc.decide(&old);
+        let (incremental, stats) = pdc.replan(&old, &prev, &new);
+        let cold = pdc.decide(&new);
+        assert!(!stats.full_replan);
+        assert_eq!(stats.dirty_phases, 1);
+        assert_eq!(stats.reused_decisions, 9);
+        assert_eq!(stats.replanned_tasks, 3);
+        // Same platform per task as a from-scratch decision (scoped phase
+        // times are translation-equal to the full pass's, so only f64
+        // rounding of the time origin could differ — far below any rule
+        // threshold here).
+        for (a, b) in incremental.decisions.iter().zip(&cold.decisions) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.platform, b.platform, "task {}", a.name);
+        }
+        assert!(incremental.plan.covers(&new));
+    }
+
+    #[test]
+    fn replan_reprofiles_only_the_dirty_phase_via_cache_stats() {
+        let c = cfg(4);
+        let old = deep_workflow(5, 4, None);
+        let new = deep_workflow(5, 4, Some(TaskRef::new(3, 0)));
+        let cache = std::sync::Arc::new(PlanCache::new());
+        let pdc = Pdc::new(c).with_cache(cache.clone());
+        let prev = pdc.decide(&old);
+        let before = cache.stats();
+        assert_eq!(before.phase_profiles.misses, 0);
+
+        let (_, stats) = pdc.replan(&old, &prev, &new);
+        let after = cache.stats();
+        assert_eq!(stats.dirty_phases, 1);
+        // One scoped phase profile computed; calibration came from the
+        // cache; the untouched phases ran no profiling at all.
+        assert_eq!(after.phase_profiles.misses, 1);
+        assert_eq!(after.vm_profile.misses, before.vm_profile.misses);
+        assert_eq!(after.calibration.hits, before.calibration.hits + 1);
+        // Only the dirty phase's tasks probed: the edited task's profile
+        // changed (fresh probe key) while its three siblings reuse theirs.
+        assert_eq!(after.probes.misses, before.probes.misses + 1);
+
+        // Replanning the same edit again is pure cache replay.
+        let (_, stats2) = pdc.replan(&old, &prev, &new);
+        let again = cache.stats();
+        assert_eq!(stats2.dirty_phases, 1);
+        assert_eq!(again.phase_profiles.misses, after.phase_profiles.misses);
+        assert!(again.phase_profiles.hits > after.phase_profiles.hits);
+    }
+
+    #[test]
+    fn replan_falls_back_to_full_decide_on_structure_change() {
+        let c = cfg(4);
+        let old = deep_workflow(3, 2, None);
+        let new = deep_workflow(4, 2, None);
+        let pdc = Pdc::new(c);
+        let prev = pdc.decide(&old);
+        let (report, stats) = pdc.replan(&old, &prev, &new);
+        assert!(stats.full_replan);
+        assert_eq!(stats.replanned_tasks, new.task_count());
+        assert_eq!(report, pdc.decide(&new));
+    }
+
+    #[test]
+    fn probe_sharing_collapses_same_family_probes() {
+        let c = cfg(4);
+        let w = deep_workflow(3, 4, None); // 12 tasks, one code family
+        let cache = std::sync::Arc::new(PlanCache::new());
+        let shared = Pdc::new(c.clone())
+            .with_probe_sharing(true)
+            .with_cache(cache.clone());
+        let report = shared.decide(&w);
+        // One probe computed for the whole family, eleven hits.
+        assert_eq!(cache.stats().probes.misses, 1);
+        assert_eq!(cache.stats().probes.hits, 11);
+        // Decisions still cover the workflow and carry the shared probe.
+        assert!(report.plan.covers(&w));
+        let p0 = report.decisions[0].probe_secs;
+        assert!(report.decisions.iter().all(|d| d.probe_secs == p0));
     }
 
     #[test]

@@ -203,7 +203,7 @@ impl WorkflowBuilder {
     /// Validates and returns the workflow with its consumer index built.
     pub fn build(self) -> Result<Workflow, ValidationError> {
         validate(&self.workflow)?;
-        self.workflow.prewarm_consumer_index();
+        self.workflow.prewarm_index();
         Ok(self.workflow)
     }
 

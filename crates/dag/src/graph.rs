@@ -60,95 +60,136 @@ impl std::error::Error for GraphError {}
 ///
 /// Tasks are assigned to phases by longest-path level (sources at phase 0).
 /// The relative order of tasks in the input is preserved within a phase.
+///
+/// Runs in O(V + E): edges are resolved into CSR adjacency (no per-task
+/// `Vec<Vec<_>>` allocation), levels come from an iterative Kahn sweep (no
+/// recursion, so million-task chains don't overflow the stack), and the
+/// input tasks are moved — not cloned — into their phases.
 pub fn from_task_graph(
     name: impl Into<String>,
     tasks: Vec<Task>,
     edges: Vec<RawEdge>,
     initial_input_bytes: f64,
 ) -> Result<Workflow, GraphError> {
-    let index: HashMap<String, usize> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.name.clone(), i))
-        .collect();
-    // Adjacency: producers[i] lists (producer index, pattern).
-    let mut producers: Vec<Vec<(usize, DependencyPattern)>> = vec![Vec::new(); tasks.len()];
+    let n = tasks.len();
+    // Borrow-keyed name index: no String clones. Later entries shadow
+    // earlier duplicates (validation rejects duplicates afterwards).
+    let mut index: HashMap<&str, usize> = HashMap::with_capacity(n);
+    for (i, t) in tasks.iter().enumerate() {
+        index.insert(t.name.as_str(), i);
+    }
+    // Resolve edges once into integer endpoints.
+    let mut raw: Vec<(u32, u32, DependencyPattern)> = Vec::with_capacity(edges.len());
     for e in &edges {
         let &from = index
-            .get(&e.from)
+            .get(e.from.as_str())
             .ok_or_else(|| GraphError::UnknownTask(e.from.clone()))?;
         let &to = index
-            .get(&e.to)
+            .get(e.to.as_str())
             .ok_or_else(|| GraphError::UnknownTask(e.to.clone()))?;
-        producers[to].push((from, e.pattern));
+        raw.push((from as u32, to as u32, e.pattern));
     }
+    drop(index);
 
-    // Longest-path level via DFS with cycle detection.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
+    // CSR adjacency in both directions. Filling in edge declaration order
+    // keeps each consumer's dependency list in its declared order.
+    let n_edges = raw.len();
+    let mut prod_offsets = vec![0u32; n + 1]; // per-consumer producer slices
+    let mut cons_offsets = vec![0u32; n + 1]; // per-producer consumer slices
+    for &(from, to, _) in &raw {
+        prod_offsets[to as usize + 1] += 1;
+        cons_offsets[from as usize + 1] += 1;
     }
-    fn level(
-        i: usize,
-        producers: &[Vec<(usize, DependencyPattern)>],
-        marks: &mut [Mark],
-        levels: &mut [usize],
-        names: &[String],
-    ) -> Result<usize, GraphError> {
-        match marks[i] {
-            Mark::Black => return Ok(levels[i]),
-            Mark::Grey => return Err(GraphError::Cycle(names[i].clone())),
-            Mark::White => {}
+    for i in 1..=n {
+        prod_offsets[i] += prod_offsets[i - 1];
+        cons_offsets[i] += cons_offsets[i - 1];
+    }
+    let mut prod_entries = vec![(0u32, DependencyPattern::AllToAll); n_edges];
+    let mut cons_entries = vec![0u32; n_edges];
+    let mut prod_cursor: Vec<u32> = prod_offsets[..n].to_vec();
+    let mut cons_cursor: Vec<u32> = cons_offsets[..n].to_vec();
+    for &(from, to, pattern) in &raw {
+        prod_entries[prod_cursor[to as usize] as usize] = (from, pattern);
+        prod_cursor[to as usize] += 1;
+        cons_entries[cons_cursor[from as usize] as usize] = to;
+        cons_cursor[from as usize] += 1;
+    }
+    drop(raw);
+
+    // Longest-path levels via an iterative Kahn sweep over consumer edges;
+    // zero-indegree tasks seed the frontier in input order.
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| prod_offsets[i + 1] - prod_offsets[i])
+        .collect();
+    let mut levels = vec![0usize; n];
+    let mut frontier: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut head = 0;
+    let mut processed = 0usize;
+    while head < frontier.len() {
+        let i = frontier[head] as usize;
+        head += 1;
+        processed += 1;
+        for &c in &cons_entries[cons_offsets[i] as usize..cons_offsets[i + 1] as usize] {
+            let c = c as usize;
+            levels[c] = levels[c].max(levels[i] + 1);
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                frontier.push(c as u32);
+            }
         }
-        marks[i] = Mark::Grey;
-        let mut l = 0;
-        for &(p, _) in &producers[i] {
-            l = l.max(level(p, producers, marks, levels, names)? + 1);
+    }
+    if processed < n {
+        // Every unprocessed task still has an unprocessed producer, so
+        // walking producers from any unprocessed task must revisit one —
+        // and the revisited task provably sits on a cycle.
+        let start = indeg.iter().position(|&d| d > 0).expect("unprocessed task");
+        let mut seen = vec![false; n];
+        let mut cur = start;
+        loop {
+            if seen[cur] {
+                return Err(GraphError::Cycle(tasks[cur].name.clone()));
+            }
+            seen[cur] = true;
+            cur = prod_entries[prod_offsets[cur] as usize..prod_offsets[cur + 1] as usize]
+                .iter()
+                .map(|&(p, _)| p as usize)
+                .find(|&p| indeg[p] > 0)
+                .expect("cycle member has an unprocessed producer");
         }
-        marks[i] = Mark::Black;
-        levels[i] = l;
-        Ok(l)
     }
 
-    let names: Vec<String> = tasks.iter().map(|t| t.name.clone()).collect();
-    let mut marks = vec![Mark::White; tasks.len()];
-    let mut levels = vec![0usize; tasks.len()];
-    for i in 0..tasks.len() {
-        level(i, &producers, &mut marks, &mut levels, &names)?;
-    }
-
+    // Place tasks into phases, preserving input order within each phase.
     let max_level = levels.iter().copied().max().unwrap_or(0);
-    let mut phases: Vec<Phase> = (0..=max_level).map(|_| Phase::default()).collect();
-    if tasks.is_empty() {
+    let mut phase_counts = vec![0u32; max_level + 1];
+    let mut placed: Vec<TaskRef> = Vec::with_capacity(n);
+    for &l in &levels {
+        placed.push(TaskRef::new(l, phase_counts[l] as usize));
+        phase_counts[l] += 1;
+    }
+    let mut phases: Vec<Phase> = phase_counts
+        .iter()
+        .map(|&c| Phase {
+            tasks: Vec::with_capacity(c as usize),
+        })
+        .collect();
+    if n == 0 {
         phases.clear();
     }
-    // Place tasks and remember their final TaskRef.
-    let mut placed: Vec<TaskRef> = Vec::with_capacity(tasks.len());
-    for (i, task) in tasks.iter().enumerate() {
-        let p = levels[i];
-        phases[p].tasks.push(Task {
-            name: task.name.clone(),
-            components: task.components,
-            profile: task.profile.clone(),
-            deps: Vec::new(), // rebuilt below with final references
-        });
-        placed.push(TaskRef::new(p, phases[p].tasks.len() - 1));
-    }
-    for (i, prods) in producers.iter().enumerate() {
-        let r = placed[i];
-        for &(p, pattern) in prods {
-            phases[r.phase].tasks[r.task].deps.push(TaskDep {
-                producer: placed[p],
+    for (i, mut task) in tasks.into_iter().enumerate() {
+        let prods = &prod_entries[prod_offsets[i] as usize..prod_offsets[i + 1] as usize];
+        task.deps = prods
+            .iter()
+            .map(|&(p, pattern)| TaskDep {
+                producer: placed[p as usize],
                 pattern,
-            });
-        }
+            })
+            .collect();
+        phases[levels[i]].tasks.push(task);
     }
 
     let workflow = Workflow::new(name, phases, initial_input_bytes);
     validate(&workflow).map_err(GraphError::Invalid)?;
-    workflow.prewarm_consumer_index();
+    workflow.prewarm_index();
     Ok(workflow)
 }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod builder;
 mod dot;
 mod graph;
@@ -27,6 +28,7 @@ mod placement;
 mod profile;
 mod workflow;
 
+pub use arena::{Symbol, TaskArena};
 pub use builder::{validate, ValidationError, WorkflowBuilder};
 pub use dot::to_dot;
 pub use graph::{from_task_graph, GraphError, RawEdge};

@@ -5,6 +5,7 @@
 //! form a *phase*; an ordered list of phases with component-level dependency
 //! edges is a *workflow*.
 
+use crate::arena::TaskArena;
 use crate::pattern::DependencyPattern;
 use crate::profile::TaskProfile;
 use serde::{Deserialize, Serialize};
@@ -83,69 +84,8 @@ impl Phase {
     }
 }
 
-/// CSR (compressed sparse row) reverse-adjacency index: for every task,
-/// the contiguous slice of `(consumer, pattern)` edges reading its output.
-/// Tasks are numbered flat in phase-major order; `offsets[flat_id]..
-/// offsets[flat_id + 1]` bounds the task's consumer slice in `entries`.
-#[derive(Debug, Default)]
-struct ConsumerIndex {
-    /// Flat id of the first task of each phase.
-    phase_starts: Vec<u32>,
-    /// Per-producer slice bounds into `entries` (one extra trailing entry).
-    offsets: Vec<u32>,
-    /// All reverse edges, grouped by producer; within a producer, consumers
-    /// appear in phase order and dependency-declaration order (the same
-    /// order the old per-call scan produced).
-    entries: Vec<(TaskRef, DependencyPattern)>,
-}
-
-impl ConsumerIndex {
-    fn build(w: &Workflow) -> Self {
-        let mut phase_starts = Vec::with_capacity(w.phases.len());
-        let mut acc = 0u32;
-        for p in &w.phases {
-            phase_starts.push(acc);
-            acc += p.tasks.len() as u32;
-        }
-        let n = acc as usize;
-        let flat = |r: TaskRef| phase_starts[r.phase] as usize + r.task;
-        let mut edges: Vec<(u32, (TaskRef, DependencyPattern))> = Vec::new();
-        for r in w.task_refs() {
-            for d in &w.task(r).deps {
-                edges.push((flat(d.producer) as u32, (r, d.pattern)));
-            }
-        }
-        // Stable sort groups edges by producer while preserving the
-        // phase-order/declaration-order scan order within each group.
-        edges.sort_by_key(|&(p, _)| p);
-        let mut offsets = vec![0u32; n + 1];
-        for &(p, _) in &edges {
-            offsets[p as usize + 1] += 1;
-        }
-        for i in 1..=n {
-            offsets[i] += offsets[i - 1];
-        }
-        ConsumerIndex {
-            phase_starts,
-            offsets,
-            entries: edges.into_iter().map(|(_, e)| e).collect(),
-        }
-    }
-
-    fn consumers(&self, producer: TaskRef) -> &[(TaskRef, DependencyPattern)] {
-        let Some(&start) = self.phase_starts.get(producer.phase) else {
-            return &[];
-        };
-        let flat = start as usize + producer.task;
-        if flat + 1 >= self.offsets.len() {
-            return &[];
-        }
-        &self.entries[self.offsets[flat] as usize..self.offsets[flat + 1] as usize]
-    }
-}
-
 /// Serialized form of a [`Workflow`]: the semantic fields only (the
-/// consumer index is derived state, rebuilt on demand).
+/// arena index is derived state, rebuilt on demand).
 #[derive(Serialize, Deserialize)]
 pub struct WorkflowData {
     /// Workflow name.
@@ -169,11 +109,12 @@ pub struct Workflow {
     /// Size of the initial input dataset in bytes (informational; initial
     /// tasks additionally declare per-component input bytes).
     pub initial_input_bytes: f64,
-    /// Lazily-built reverse-adjacency index. Built on the first
+    /// Lazily-built arena index (flat task table, interned names, CSR edges
+    /// in both directions). Built on the first [`arena`](Workflow::arena) /
     /// [`consumers`](Workflow::consumers) call (or eagerly by the builder);
-    /// dependency edges must not be mutated after that point — clone the
+    /// semantic fields must not be mutated after that point — clone the
     /// workflow instead, which resets the index.
-    consumers_cache: OnceLock<ConsumerIndex>,
+    arena_cache: OnceLock<TaskArena>,
 }
 
 impl From<WorkflowData> for Workflow {
@@ -220,20 +161,21 @@ impl Workflow {
             name: name.into(),
             phases,
             initial_input_bytes,
-            consumers_cache: OnceLock::new(),
+            arena_cache: OnceLock::new(),
         }
     }
 
-    /// The reverse-adjacency index, built on first use.
-    fn consumer_index(&self) -> &ConsumerIndex {
-        self.consumers_cache
-            .get_or_init(|| ConsumerIndex::build(self))
+    /// The arena/SoA index over this workflow's tasks and edges, built on
+    /// first use: flat ids, interned name symbols, O(1) name lookup, and
+    /// CSR consumer/producer adjacency.
+    pub fn arena(&self) -> &TaskArena {
+        self.arena_cache.get_or_init(|| TaskArena::build(self))
     }
 
-    /// Builds the consumer index now (the builder calls this so fully-built
+    /// Builds the arena index now (the builder calls this so fully-built
     /// workflows never pay the cost on a hot path).
-    pub(crate) fn prewarm_consumer_index(&self) {
-        let _ = self.consumer_index();
+    pub(crate) fn prewarm_index(&self) {
+        let _ = self.arena();
     }
     /// Looks up a task by reference. Panics on an out-of-range reference
     /// (validated workflows never contain one).
@@ -241,11 +183,10 @@ impl Workflow {
         &self.phases[r.phase].tasks[r.task]
     }
 
-    /// Looks up a task by name.
+    /// Looks up a task by name via the arena's interned-name table (O(1);
+    /// the first occurrence wins, as the old linear scan did).
     pub fn task_by_name(&self, name: &str) -> Option<(TaskRef, &Task)> {
-        self.task_refs()
-            .map(|r| (r, self.task(r)))
-            .find(|(_, t)| t.name == name)
+        self.arena().lookup(name).map(|(r, _)| (r, self.task(r)))
     }
 
     /// Iterates over all task references in phase order.
@@ -276,7 +217,7 @@ impl Workflow {
     /// The tasks that consume a given task's output, with patterns, in
     /// phase order. Served from the CSR index (O(1) after the first call).
     pub fn consumers(&self, producer: TaskRef) -> &[(TaskRef, DependencyPattern)] {
-        self.consumer_index().consumers(producer)
+        self.arena().consumers(producer)
     }
 
     /// Component-level dependencies of `(consumer, comp)`: each entry is a
@@ -395,22 +336,8 @@ mod tests {
         assert!(w.consumers(c1).is_empty());
     }
 
-    /// Brute-force reverse scan (the pre-CSR implementation), used as the
-    /// oracle for the index.
-    fn scan_consumers(w: &Workflow, producer: TaskRef) -> Vec<(TaskRef, DependencyPattern)> {
-        let mut out = Vec::new();
-        for r in w.task_refs() {
-            for d in &w.task(r).deps {
-                if d.producer == producer {
-                    out.push((r, d.pattern));
-                }
-            }
-        }
-        out
-    }
-
     #[test]
-    fn csr_index_matches_brute_force_scan() {
+    fn csr_index_lists_consumers_in_phase_then_declaration_order() {
         let mut b = WorkflowBuilder::new("w");
         b.begin_phase();
         let a = b.add_task(Task::new("A", 4, TaskProfile::trivial()));
@@ -426,9 +353,17 @@ mod tests {
         b.depend(e, c, DependencyPattern::AllToAll);
         b.depend(e, d, DependencyPattern::OneToOne);
         let w = b.build().expect("valid");
-        for r in w.task_refs() {
-            assert_eq!(w.consumers(r), scan_consumers(&w, r).as_slice(), "{r}");
-        }
+        assert_eq!(
+            w.consumers(a),
+            &[
+                (c, DependencyPattern::OneToOne),
+                (d, DependencyPattern::AllToAll)
+            ]
+        );
+        assert_eq!(w.consumers(b0), &[(d, DependencyPattern::AllToAll)]);
+        assert_eq!(w.consumers(c), &[(e, DependencyPattern::AllToAll)]);
+        assert_eq!(w.consumers(d), &[(e, DependencyPattern::OneToOne)]);
+        assert!(w.consumers(e).is_empty());
         // Out-of-range producers have no consumers (matching the old scan).
         assert!(w.consumers(TaskRef::new(9, 0)).is_empty());
         assert!(w.consumers(TaskRef::new(0, 9)).is_empty());

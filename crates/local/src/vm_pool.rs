@@ -70,6 +70,7 @@ impl VmPool {
 
     /// Runs `n` jobs produced by `make_job(i)` and blocks until all finish.
     pub fn run_batch(&self, n: usize, make_job: impl Fn(usize) + Send + Sync + 'static) {
+        let before = self.executed();
         let make_job = Arc::new(make_job);
         let (done_tx, done_rx) = unbounded::<()>();
         for i in 0..n {
@@ -83,6 +84,13 @@ impl VmPool {
         drop(done_tx);
         for _ in 0..n {
             done_rx.recv().expect("all jobs complete");
+        }
+        // The worker bumps `executed` after the job body (which sends the
+        // done signal) returns, so the counter can trail the last signal by
+        // an instant; wait it out so `executed()` is consistent with the
+        // batch having finished.
+        while self.executed() < before + n {
+            std::thread::yield_now();
         }
     }
 }

@@ -18,7 +18,7 @@
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An event callback: runs at its scheduled instant with access to the engine
 /// so it can schedule follow-up events.
@@ -102,6 +102,14 @@ pub struct Simulation {
     now: SimTime,
     next_seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Same-instant fast path: events scheduled for exactly `now` land in
+    /// this FIFO ring instead of the heap (O(1) instead of O(log n)), so a
+    /// wide fan-out spawned within one instant doesn't pay per-event heap
+    /// operations. Invariant: every ring entry has `at == now` (the ring
+    /// drains before the clock can advance), and ring sequence numbers
+    /// exceed those of any equal-time heap entries, so the dispatch loop
+    /// merges the two sources by `(at, seq)` without reordering anything.
+    now_ring: VecDeque<Scheduled>,
     slots: Vec<Slot>,
     free_slots: Vec<u32>,
     /// Events in the heap whose generation still matches their slot.
@@ -128,6 +136,7 @@ impl Simulation {
             now: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
+            now_ring: VecDeque::new(),
             slots: Vec::new(),
             free_slots: Vec::new(),
             live: 0,
@@ -173,6 +182,10 @@ impl Simulation {
         at: SimTime,
         event: impl FnOnce(&mut Simulation) + 'static,
     ) -> EventHandle {
+        self.push_event(at, Box::new(event))
+    }
+
+    fn push_event(&mut self, at: SimTime, run: EventFn) -> EventHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at:?} < {:?}",
@@ -189,15 +202,54 @@ impl Simulation {
             }
         };
         let gen = self.slots[slot as usize].gen;
-        self.queue.push(Reverse(Scheduled {
+        let scheduled = Scheduled {
             at,
             seq,
             slot,
             gen,
-            run: Box::new(event),
-        }));
+            run,
+        };
+        if at == self.now {
+            self.now_ring.push_back(scheduled);
+        } else {
+            self.queue.push(Reverse(scheduled));
+        }
         self.live += 1;
         EventHandle::new(slot, gen)
+    }
+
+    /// Schedules a homogeneous batch of events at absolute time `at`, in
+    /// iteration order. Equivalent to calling [`schedule_at`](Self::schedule_at)
+    /// per event (consecutive sequence numbers, identical dispatch order)
+    /// but amortizes slot bookkeeping, and same-instant batches bypass the
+    /// heap entirely.
+    pub fn schedule_batch_at(&mut self, at: SimTime, events: impl IntoIterator<Item = EventFn>) {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        if at == self.now {
+            self.now_ring.reserve(lower);
+        } else {
+            self.queue.reserve(lower);
+        }
+        for event in events {
+            self.push_event(at, event);
+        }
+    }
+
+    /// Schedules a batch after `delay` from now (see
+    /// [`schedule_batch_at`](Self::schedule_batch_at)).
+    pub fn schedule_batch_in(
+        &mut self,
+        delay: SimDuration,
+        events: impl IntoIterator<Item = EventFn>,
+    ) {
+        self.schedule_batch_at(self.now + delay, events);
+    }
+
+    /// Schedules a batch at the current instant, after all events already
+    /// queued for this instant (see [`schedule_batch_at`](Self::schedule_batch_at)).
+    pub fn schedule_batch_now(&mut self, events: impl IntoIterator<Item = EventFn>) {
+        self.schedule_batch_at(self.now, events);
     }
 
     /// Schedules `event` after `delay` from now.
@@ -235,17 +287,21 @@ impl Simulation {
         self.free_slots.push(slot as u32);
     }
 
-    /// Rebuilds the heap without dead entries once they outnumber live ones.
-    /// Ordering is untouched: the heap is rebuilt from the surviving
-    /// `(at, seq)` pairs, which are totally ordered.
+    /// Rebuilds the queues without dead entries once they outnumber live
+    /// ones. Ordering is untouched: the heap is rebuilt from the surviving
+    /// `(at, seq)` pairs, which are totally ordered, and the ring keeps its
+    /// FIFO (= seq) order.
     fn maybe_compact(&mut self) {
-        if self.dead < COMPACT_MIN_DEAD || self.dead * 2 <= self.queue.len() {
+        if self.dead < COMPACT_MIN_DEAD || self.dead * 2 <= self.queue.len() + self.now_ring.len() {
             return;
         }
         let heap = std::mem::take(&mut self.queue);
         let mut entries = heap.into_vec();
         entries.retain(|Reverse(s)| self.slots[s.slot as usize].gen == s.gen);
         self.queue = BinaryHeap::from(entries);
+        let mut ring = std::mem::take(&mut self.now_ring);
+        ring.retain(|s| self.slots[s.slot as usize].gen == s.gen);
+        self.now_ring = ring;
         self.dead = 0;
     }
 
@@ -257,7 +313,23 @@ impl Simulation {
     /// Runs until the queue drains or the clock passes `deadline`.
     /// Events scheduled exactly at the deadline still fire.
     pub fn run_until(&mut self, deadline: Option<SimTime>) -> SimTime {
-        while let Some(Reverse(head)) = self.queue.pop() {
+        loop {
+            // Merge the same-instant ring with the heap by (at, seq): ring
+            // entries sit at the current instant with later sequence
+            // numbers, so equal-time heap entries (scheduled from an
+            // earlier instant) still fire first.
+            let from_ring = match (self.now_ring.front(), self.queue.peek()) {
+                (Some(r), Some(Reverse(h))) => (r.at, r.seq) < (h.at, h.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let head = if from_ring {
+                self.now_ring.pop_front().expect("ring head")
+            } else {
+                let Reverse(h) = self.queue.pop().expect("heap head");
+                h
+            };
             if self.slots[head.slot as usize].gen != head.gen {
                 // Stale entry for a cancelled event: drop it.
                 self.dead -= 1;
@@ -266,7 +338,11 @@ impl Simulation {
             if let Some(d) = deadline {
                 if head.at > d {
                     // Put it back for a later resume and stop at the deadline.
-                    self.queue.push(Reverse(head));
+                    if from_ring {
+                        self.now_ring.push_front(head);
+                    } else {
+                        self.queue.push(Reverse(head));
+                    }
                     self.now = d;
                     return self.now;
                 }
@@ -473,6 +549,89 @@ mod tests {
         sim.run();
         assert!(sim.is_idle());
         assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn batch_scheduling_matches_individual_scheduling_order() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 0));
+        let batch: Vec<EventFn> = (1..=5)
+            .map(|i| Box::new(record(&log, i)) as EventFn)
+            .collect();
+        sim.schedule_batch_at(SimTime::from_secs(1.0), batch);
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 6));
+        sim.run();
+        assert_eq!(*log.borrow(), (0..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_instant_batch_interleaves_with_heap_events_by_seq() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        // At t=1 the first event batch-schedules followups at the current
+        // instant (ring path); an equal-time heap event scheduled earlier
+        // must still fire before the batch.
+        sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
+            log2.borrow_mut().push(100);
+            let batch: Vec<EventFn> = (0..3)
+                .map(|i| Box::new(record(&log2, 300 + i)) as EventFn)
+                .collect();
+            sim.schedule_batch_now(batch);
+        });
+        sim.schedule_at(SimTime::from_secs(1.0), record(&log, 200));
+        sim.schedule_at(SimTime::from_secs(2.0), record(&log, 400));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![100, 200, 300, 301, 302, 400]);
+    }
+
+    #[test]
+    fn same_instant_events_are_cancellable() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
+            let h = sim.schedule_now(record(&log2, 1));
+            sim.schedule_now(record(&log2, 2));
+            sim.cancel(h);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2]);
+        assert!(sim.is_idle());
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn compaction_retains_live_ring_entries() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        // Inside one instant: a live ring event, then enough cancelled ones
+        // to trip compaction; the survivor must still fire.
+        sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
+            sim.schedule_now(record(&log2, 7));
+            let doomed: Vec<_> = (0..200).map(|_| sim.schedule_now(|_| {})).collect();
+            for h in doomed {
+                sim.cancel(h);
+            }
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![7]);
+    }
+
+    #[test]
+    fn batch_deadline_pause_preserves_pending_events() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let batch: Vec<EventFn> = vec![Box::new(record(&log, 1)), Box::new(record(&log, 2))];
+        sim.schedule_batch_at(SimTime::from_secs(10.0), batch);
+        let t = sim.run_until(Some(SimTime::from_secs(5.0)));
+        assert_eq!(t.as_secs(), 5.0);
+        assert!(log.borrow().is_empty());
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2]);
     }
 
     #[test]

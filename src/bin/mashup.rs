@@ -4,7 +4,7 @@
 //! mashup validate <workflow.json>
 //! mashup analyze  <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N]
 //! mashup dot      <workflow.json>
-//! mashup plan     <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N] [--objective time|expense|both]
+//! mashup plan     <workflow.json|1000Genome|SRAsearch|Epigenomics> [--nodes N] [--objective time|expense|both] [--probe-sharing]
 //! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
 //! mashup compare  <workflow...>   [--nodes N]
 //! mashup trace    <workflow...>   [--nodes N] [--strategy S] [--format jsonl|chrome] [--out FILE] [--verbose] [--check]
@@ -51,6 +51,7 @@ struct Args {
     out: Option<String>,
     verbose: bool,
     check: bool,
+    probe_sharing: bool,
 }
 
 fn parse_args(mut rest: std::env::Args) -> Args {
@@ -66,6 +67,7 @@ fn parse_args(mut rest: std::env::Args) -> Args {
         out: None,
         verbose: false,
         check: false,
+        probe_sharing: false,
     };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -100,6 +102,7 @@ fn parse_args(mut rest: std::env::Args) -> Args {
             }
             "--verbose" => args.verbose = true,
             "--check" => args.check = true,
+            "--probe-sharing" => args.probe_sharing = true,
             other => die(&format!("unknown flag '{other}'")),
         }
     }
@@ -157,8 +160,12 @@ fn main() {
             let args = parse_args(argv);
             let w = load_workflow(&args.workflow);
             let cfg = MashupConfig::aws(args.nodes);
+            // --probe-sharing collapses serverless probes across tasks of
+            // the same code family — one probe per family instead of one
+            // per task, the cheap mode for very wide workflows.
             let pdc = Pdc::new(cfg)
                 .with_objective(args.objective)
+                .with_probe_sharing(args.probe_sharing)
                 .try_decide(&w)
                 .unwrap_or_else(|e| die_diagnosed(&e));
             println!(

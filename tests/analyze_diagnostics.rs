@@ -68,8 +68,11 @@ fn all_fixture_diags() -> Vec<(&'static str, Vec<Diagnostic>)> {
         serde_json::from_str(&fixture("partial_plan.json")).expect("parse partial_plan");
     let bad_config: MashupConfig =
         serde_json::from_str(&fixture("bad_config.json")).expect("parse bad_config");
+    let scale_workflow: Workflow =
+        serde_json::from_str(&fixture("scale_workflow.json")).expect("parse scale_workflow");
     vec![
         ("bad_workflow", analyze_workflow(&bad_workflow)),
+        ("scale_workflow", analyze_workflow(&scale_workflow)),
         (
             "bad_plan",
             analyze_plan(&plan_workflow, &bad_plan, &plan_ctx(&cfg)),
