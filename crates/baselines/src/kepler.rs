@@ -14,12 +14,11 @@ use mashup_core::{
     CloudEnv, MashupConfig, PlacementPlan, Platform, TaskReport, TraceEvent, Tracer, WorkflowReport,
 };
 use mashup_dag::{TaskRef, Workflow};
-use std::cell::RefCell;
+use mashup_sim::{shared, Shared};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 struct Driver {
-    workflow: Rc<Workflow>,
+    workflow: std::sync::Arc<Workflow>,
     /// Unfinished producer count per task.
     pending_deps: HashMap<TaskRef, usize>,
     reports: Vec<TaskReport>,
@@ -51,8 +50,8 @@ pub fn run_kepler_traced(
     for r in workflow.task_refs() {
         pending_deps.insert(r, workflow.task(r).deps.len());
     }
-    let driver = Rc::new(RefCell::new(Driver {
-        workflow: Rc::new(workflow.clone()),
+    let driver = shared(Driver {
+        workflow: std::sync::Arc::new(workflow.clone()),
         pending_deps,
         reports: Vec::new(),
         remaining: workflow.task_count(),
@@ -61,7 +60,7 @@ pub fn run_kepler_traced(
         subclusters: cfg.cluster.subclusters,
         next_sub: 0,
         tracer: tracer.clone(),
-    }));
+    });
 
     // Fire every dependency-free task immediately.
     let ready: Vec<TaskRef> = workflow
@@ -92,7 +91,7 @@ pub fn run_kepler_traced(
     }
 }
 
-fn spawn(sim: &mut mashup_sim::Simulation, driver: Rc<RefCell<Driver>>, r: TaskRef) {
+fn spawn(sim: &mut mashup_sim::Simulation, driver: Shared<Driver>, r: TaskRef) {
     let (spec, cluster) = {
         let mut d = driver.borrow_mut();
         let sub = d.next_sub % d.subclusters;

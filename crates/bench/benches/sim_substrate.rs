@@ -12,16 +12,14 @@
 //! to refresh the tracked numbers (see EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mashup_sim::{SharedLink, SimDuration, Simulation};
-use std::cell::Cell;
-use std::rc::Rc;
+use mashup_sim::{shared, SharedLink, SimDuration, Simulation};
 
 /// 1000 staggered flows with heterogeneous per-flow caps on one link; each
 /// completion triggers a replan of everything still in flight.
 fn link_contention(flows: usize) -> f64 {
     let mut sim = Simulation::new();
     let link = SharedLink::new("bench-fabric", 1.0e9);
-    let done = Rc::new(Cell::new(0usize));
+    let done = shared(0usize);
     for i in 0..flows {
         let link2 = link.clone();
         let done2 = done.clone();

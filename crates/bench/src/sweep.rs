@@ -1,135 +1,37 @@
-//! Scenario-level parallel sweep runner.
+//! Scenario-level parallel sweep runner — a thin veneer over the shared
+//! worker pool in [`mashup_serve::pool`].
 //!
 //! Every figure is a grid of *independent* simulated scenarios (workflow ×
-//! cluster size × strategy). Each scenario builds its own `Simulation` —
-//! the engine is deliberately single-threaded (`Rc<RefCell<..>>` world
-//! state) — so the natural parallelism is one whole scenario per worker.
-//!
-//! [`par_map`] farms a work list over `std::thread::scope` workers and
-//! returns results **in input order**, so figure output is byte-identical
-//! whatever the worker count: determinism lives inside each scenario (the
-//! seeded simulation) and the merge order is fixed by the caller's list.
+//! cluster size × strategy). Each scenario builds and drives its own
+//! `Simulation`; runs are internally single-threaded and deterministic,
+//! and — since the engine's world state moved from `Rc<RefCell<..>>` to
+//! the `Send` [`mashup_sim::Shared`] handles — a whole scenario can execute
+//! on any worker thread. The figure sweep and the planning service
+//! (`mashup-serve`) share one execution path: [`par_map`] farms a work
+//! list over scoped workers and returns results **in input order**, so
+//! figure output is byte-identical whatever the worker count.
 //!
 //! The worker count comes from [`set_jobs`] (the figures binary's
 //! `--jobs N`); `0` means one worker per available core.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Global worker-count override: 0 = auto (one per available core).
-static JOBS: AtomicUsize = AtomicUsize::new(0);
-
-/// Sets the sweep worker count. `0` restores auto (one per core).
-pub fn set_jobs(n: usize) {
-    JOBS.store(n, Ordering::SeqCst);
-}
-
-/// The effective sweep worker count.
-pub fn jobs() -> usize {
-    match JOBS.load(Ordering::SeqCst) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        n => n,
-    }
-}
-
-/// Runs `f` over `items` on up to [`jobs`] worker threads and returns the
-/// results in input order. Falls back to a plain serial map when one worker
-/// (or one item) makes threading pointless. Panics in `f` propagate.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n_items = items.len();
-    let n_workers = jobs().min(n_items);
-    if n_workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    // Items parked in slots so idle workers can claim strictly by index;
-    // the index also keys the deterministic merge below.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let slots = &slots;
-    let next = &next;
-    let mut collected: Vec<(usize, R)> = Vec::with_capacity(n_items);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::SeqCst);
-                        if i >= slots.len() {
-                            break;
-                        }
-                        let item = slots[i]
-                            .lock()
-                            .expect("slot lock")
-                            .take()
-                            .expect("each index is claimed exactly once");
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => collected.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
-            }
-        }
-    });
-    collected.sort_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, r)| r).collect()
-}
+pub use mashup_serve::pool::{jobs, par_map, set_jobs};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The sweep contract the figures depend on, exercised through the
+    /// re-exported pool: deterministic input-order merge at any worker
+    /// count.
     #[test]
-    fn results_come_back_in_input_order() {
-        // Uneven per-item work so completion order differs from input order.
-        let items: Vec<u64> = (0..64).collect();
-        let out = par_map(items, |i| {
-            if i % 7 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            i * 10
-        });
-        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn jobs_override_round_trips() {
-        let before = jobs();
-        set_jobs(3);
-        assert_eq!(jobs(), 3);
-        set_jobs(0);
-        assert!(jobs() >= 1);
-        let _ = before;
-    }
-
-    #[test]
-    fn empty_and_single_item_lists_work() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map(empty, |x: u32| x).is_empty());
-        assert_eq!(par_map(vec![5u32], |x| x + 1), vec![6]);
-    }
-
-    #[test]
-    fn serial_and_parallel_agree() {
-        let items: Vec<u64> = (0..40).collect();
+    fn sweep_results_are_worker_count_independent() {
+        let items: Vec<u64> = (0..48).collect();
         set_jobs(1);
-        let serial = par_map(items.clone(), |i| i * i + 1);
-        set_jobs(4);
-        let parallel = par_map(items, |i| i * i + 1);
+        let serial = par_map(items.clone(), |i| i * 3 + 1);
+        set_jobs(6);
+        let parallel = par_map(items, |i| i * 3 + 1);
         set_jobs(0);
         assert_eq!(serial, parallel);
+        assert_eq!(serial[47], 47 * 3 + 1);
     }
 }

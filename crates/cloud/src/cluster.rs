@@ -23,12 +23,11 @@ use mashup_sim::trace::{TraceEvent, Tracer};
 use mashup_sim::{
     jitter_factor, EventFn, SeedSource, SharedLink, SimDuration, SimTime, Simulation,
 };
+use mashup_sim::{shared, Shared};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Completion callback handed to [`VmCluster::run_task`].
-type ClusterDoneFn = Box<dyn FnOnce(&mut Simulation, ClusterRunStats)>;
+type ClusterDoneFn = Box<dyn FnOnce(&mut Simulation, ClusterRunStats) + Send>;
 
 /// Cluster shape and billing parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -171,8 +170,8 @@ impl ClusterRunStats {
 
 struct SubCluster {
     /// Live component count per worker node (timeshare load).
-    node_loads: RefCell<Vec<usize>>,
-    peak_load: std::cell::Cell<usize>,
+    node_loads: mashup_sim::AtomicRefCell<Vec<usize>>,
+    peak_load: std::sync::atomic::AtomicUsize,
     /// Master ingest NIC: initial-data distribution.
     master_link: SharedLink,
     /// Intra-cluster fabric: inter-phase data; aggregate scales with the
@@ -196,10 +195,10 @@ struct ClusterState {
 #[derive(Clone)]
 pub struct VmCluster {
     cfg: ClusterConfig,
-    subs: Rc<Vec<SubCluster>>,
+    subs: std::sync::Arc<Vec<SubCluster>>,
     meter: CostMeter,
     seeds: SeedSource,
-    state: Rc<RefCell<ClusterState>>,
+    state: Shared<ClusterState>,
 }
 
 impl VmCluster {
@@ -222,8 +221,8 @@ impl VmCluster {
             let fabric_bps =
                 (n as f64 * cfg.instance.node_nic_bps / 2.0).max(cfg.instance.node_nic_bps);
             subs.push(SubCluster {
-                node_loads: RefCell::new(vec![0usize; n]),
-                peak_load: std::cell::Cell::new(0),
+                node_loads: mashup_sim::AtomicRefCell::new(vec![0usize; n]),
+                peak_load: std::sync::atomic::AtomicUsize::new(0),
                 master_link: SharedLink::new(
                     format!("sub{s}-master-nic"),
                     cfg.instance.master_nic_bps,
@@ -232,14 +231,14 @@ impl VmCluster {
             });
         }
         VmCluster {
-            subs: Rc::new(subs),
+            subs: std::sync::Arc::new(subs),
             meter,
             seeds: seeds.child("cluster"),
-            state: Rc::new(RefCell::new(ClusterState {
+            state: shared(ClusterState {
                 billing_started: None,
                 billed_node_seconds: 0.0,
                 tracer: Tracer::off(),
-            })),
+            }),
             cfg,
         }
     }
@@ -312,7 +311,9 @@ impl VmCluster {
 
     /// Peak per-node component load observed on a sub-cluster.
     pub fn peak_node_load(&self, subcluster: usize) -> usize {
-        self.subs[subcluster].peak_load.get()
+        self.subs[subcluster]
+            .peak_load
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Saturation bound on the swap-thrash multiplier (the slowdown cannot
@@ -358,7 +359,7 @@ impl VmCluster {
         sim: &mut Simulation,
         store: Option<&ObjectStore>,
         spec: ClusterTaskSpec,
-        on_done: impl FnOnce(&mut Simulation, ClusterRunStats) + 'static,
+        on_done: impl FnOnce(&mut Simulation, ClusterRunStats) + Send + 'static,
     ) {
         assert!(spec.subcluster < self.subs.len(), "no such subcluster");
         assert!(spec.components > 0, "task with zero components");
@@ -375,17 +376,17 @@ impl VmCluster {
             start: SimTime,
             done: Option<ClusterDoneFn>,
         }
-        let accum = Rc::new(RefCell::new(Accum {
+        let accum = shared(Accum {
             remaining: spec.components,
             io_secs: 0.0,
             compute_secs: 0.0,
             start: sim.now(),
             done: Some(Box::new(on_done)),
-        }));
+        });
 
         let sub = spec.subcluster;
         let n_nodes = self.subs[sub].nodes();
-        let spec = Rc::new(spec);
+        let spec = std::sync::Arc::new(spec);
         let mut rng = self.seeds.child(&spec.label).stream("cluster-run");
 
         // The input branch is component-independent; when there is no input
@@ -424,7 +425,9 @@ impl VmCluster {
                         let mut loads = sub.node_loads.borrow_mut();
                         loads[node_idx] += 1;
                         let l = loads[node_idx];
-                        sub.peak_load.set(sub.peak_load.get().max(l));
+                        let prev = sub.peak_load.load(std::sync::atomic::Ordering::Relaxed);
+                        sub.peak_load
+                            .store(prev.max(l), std::sync::atomic::Ordering::Relaxed);
                         l
                     };
                     let factor = VmCluster::timeshare_factor(
@@ -557,7 +560,7 @@ mod tests {
 
     fn run(c: &VmCluster, spec: ClusterTaskSpec) -> ClusterRunStats {
         let mut sim = Simulation::new();
-        let out = Rc::new(RefCell::new(None));
+        let out = shared(None);
         let o2 = out.clone();
         let c2 = c.clone();
         sim.schedule_now(move |sim| {
@@ -698,7 +701,7 @@ mod tests {
             &SeedSource::new(7),
         );
         let mut sim = Simulation::new();
-        let ends = Rc::new(RefCell::new(Vec::new()));
+        let ends = shared(Vec::new());
         for sub in 0..2 {
             let mut spec = ClusterTaskSpec::new(format!("t{sub}"), 4, 0.0);
             spec.input_bytes = 1.25e9;

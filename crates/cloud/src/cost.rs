@@ -5,9 +5,8 @@
 //! execution. [`CostMeter`] accumulates these as the simulation runs and
 //! renders an [`Expense`] breakdown at the end.
 
+use mashup_sim::Shared;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 const SECS_PER_MONTH: f64 = 30.0 * 24.0 * 3600.0;
 
@@ -40,7 +39,7 @@ struct Meter {
 /// A shareable expense accumulator. Cloning shares the same meter.
 #[derive(Debug, Clone, Default)]
 pub struct CostMeter {
-    inner: Rc<RefCell<Meter>>,
+    inner: Shared<Meter>,
 }
 
 impl CostMeter {

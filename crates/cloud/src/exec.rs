@@ -13,12 +13,11 @@ use crate::faas::FaasPlatform;
 use crate::storage::ObjectStore;
 use mashup_sim::trace::TraceEvent;
 use mashup_sim::{jitter_factor, SeedSource, SimDuration, SimTime, Simulation};
+use mashup_sim::{shared, Shared};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Completion callback fired once the last component chain finishes.
-type FaasDoneFn = Box<dyn FnOnce(&mut Simulation, FaasRunStats)>;
+type FaasDoneFn = Box<dyn FnOnce(&mut Simulation, FaasRunStats) + Send>;
 
 /// Work description for running one task's components on FaaS.
 #[derive(Debug, Clone)]
@@ -120,8 +119,8 @@ struct Accum {
 struct Ctx {
     platform: FaasPlatform,
     store: ObjectStore,
-    spec: Rc<FaasTaskSpec>,
-    accum: Rc<RefCell<Accum>>,
+    spec: std::sync::Arc<FaasTaskSpec>,
+    accum: Shared<Accum>,
 }
 
 /// Runs all components of `spec` on the platform, exchanging data through
@@ -138,7 +137,7 @@ pub fn run_task_on_faas(
     store: &ObjectStore,
     spec: FaasTaskSpec,
     seeds: &SeedSource,
-    on_done: impl FnOnce(&mut Simulation, FaasRunStats) + 'static,
+    on_done: impl FnOnce(&mut Simulation, FaasRunStats) + Send + 'static,
 ) {
     // Analyzer-checked invariant: diagnostic M104 rejects zero-component
     // tasks before execution reaches this platform.
@@ -167,7 +166,7 @@ pub fn run_task_on_faas(
         platform.config().per_function_bps,
     );
     let now = sim.now();
-    let accum = Rc::new(RefCell::new(Accum {
+    let accum = shared(Accum {
         remaining: spec.components,
         first_start_seen: false,
         stats: FaasRunStats {
@@ -185,11 +184,11 @@ pub fn run_task_on_faas(
             bytes_written: 0.0,
         },
         done: Some(Box::new(on_done)),
-    }));
+    });
     let ctx = Ctx {
         platform: platform.clone(),
         store: store.clone(),
-        spec: Rc::new(spec),
+        spec: std::sync::Arc::new(spec),
         accum,
     };
     let mut rng = seeds.child(&ctx.spec.label).stream("faas-run");
@@ -560,7 +559,7 @@ mod tests {
 
     fn run(platform: &FaasPlatform, store: &ObjectStore, spec: FaasTaskSpec) -> FaasRunStats {
         let mut sim = Simulation::new();
-        let out = Rc::new(RefCell::new(None));
+        let out = shared(None);
         let o2 = out.clone();
         let p = platform.clone();
         let s = store.clone();

@@ -16,17 +16,16 @@
 use crate::cost::CostMeter;
 use crate::pricing::FaasConfig;
 use mashup_sim::trace::{KillReason, TraceEvent, Tracer};
+use mashup_sim::{shared, Shared};
 use mashup_sim::{SeedSource, SimDuration, SimTime, Simulation};
 use rand::Rng;
-use std::cell::RefCell;
 // Both maps are keyed lookups only (never order-iterated), so hashing
 // order cannot leak into simulated results.
 // lint: allow(hash-collections)
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// Callback fired when the platform kills an invocation at its deadline.
-pub type KillFn = Box<dyn FnOnce(&mut Simulation)>;
+pub type KillFn = Box<dyn FnOnce(&mut Simulation) + Send>;
 
 /// Identifier of a live invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,16 +82,16 @@ struct FaasState {
 pub struct FaasPlatform {
     cfg: FaasConfig,
     meter: CostMeter,
-    state: Rc<RefCell<FaasState>>,
-    rng: Rc<RefCell<rand::rngs::StdRng>>,
+    state: Shared<FaasState>,
+    rng: Shared<rand::rngs::StdRng>,
 }
 
 impl FaasPlatform {
     /// Creates a platform with the given constants, charging `meter`.
     pub fn new(cfg: FaasConfig, meter: CostMeter, seeds: &SeedSource) -> Self {
         FaasPlatform {
-            rng: Rc::new(RefCell::new(seeds.stream("faas"))),
-            state: Rc::new(RefCell::new(FaasState {
+            rng: shared(seeds.stream("faas")),
+            state: shared(FaasState {
                 tokens: cfg.burst_capacity as f64,
                 last_refill: SimTime::ZERO,
                 warm_pool: Default::default(),
@@ -104,7 +103,7 @@ impl FaasPlatform {
                 peak_concurrency: 0,
                 function_seconds: 0.0,
                 tracer: Tracer::off(),
-            })),
+            }),
             cfg,
             meter,
         }
@@ -215,7 +214,7 @@ impl FaasPlatform {
         sim: &mut Simulation,
         code_key: impl Into<String>,
         on_killed: Option<KillFn>,
-        on_ready: impl FnOnce(&mut Simulation, Invocation) + 'static,
+        on_ready: impl FnOnce(&mut Simulation, Invocation) + Send + 'static,
     ) {
         let code_key = code_key.into();
         let sched_delay = self.scheduler_delay(sim.now());
@@ -417,7 +416,6 @@ impl FaasPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
 
     fn platform(cfg: FaasConfig) -> FaasPlatform {
         FaasPlatform::new(cfg, CostMeter::new(), &SeedSource::new(3))
@@ -438,7 +436,7 @@ mod tests {
         cfg.keep_alive_secs = 0.0; // force every start cold for exact timing
         let p = platform(cfg);
         let mut sim = Simulation::new();
-        let readies = Rc::new(RefCell::new(Vec::new()));
+        let readies = shared(Vec::new());
         for _ in 0..5 {
             let r = readies.clone();
             let p2 = p.clone();
@@ -469,7 +467,7 @@ mod tests {
         let p = platform(fixed_cfg());
         let mut sim = Simulation::new();
         let p2 = p.clone();
-        let second_cold = Rc::new(Cell::new(true));
+        let second_cold = shared(true);
         let sc = second_cold.clone();
         sim.schedule_now(move |sim| {
             let p3 = p2.clone();
@@ -498,7 +496,7 @@ mod tests {
         let p = platform(cfg);
         let mut sim = Simulation::new();
         let p2 = p.clone();
-        let second_cold = Rc::new(Cell::new(false));
+        let second_cold = shared(false);
         let sc = second_cold.clone();
         sim.schedule_now(move |sim| {
             let p3 = p2.clone();
@@ -520,7 +518,7 @@ mod tests {
         let p = platform(fixed_cfg());
         let mut sim = Simulation::new();
         let p2 = p.clone();
-        let other_cold = Rc::new(Cell::new(false));
+        let other_cold = shared(false);
         let oc = other_cold.clone();
         sim.schedule_now(move |sim| {
             let p3 = p2.clone();
@@ -543,7 +541,7 @@ mod tests {
         cfg.timeout_secs = 10.0;
         let p = platform(cfg);
         let mut sim = Simulation::new();
-        let killed = Rc::new(Cell::new(false));
+        let killed = shared(false);
         let k2 = killed.clone();
         let p2 = p.clone();
         sim.schedule_now(move |sim| {
@@ -574,7 +572,7 @@ mod tests {
         assert!((p.function_seconds() - 2.0).abs() < 1e-9);
         // A subsequent invoke is warm.
         let p3 = p.clone();
-        let cold = Rc::new(Cell::new(true));
+        let cold = shared(true);
         let c2 = cold.clone();
         sim.schedule_now(move |sim| {
             p3.invoke(sim, "task", None, move |_, inv| c2.set(inv.cold));

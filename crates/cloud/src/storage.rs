@@ -22,11 +22,10 @@
 use crate::cost::CostMeter;
 use crate::pricing::StorageConfig;
 use mashup_sim::trace::{TraceEvent, Tracer};
+use mashup_sim::{shared, Shared};
 use mashup_sim::{SeedSource, SharedLink, SimDuration, SimTime, Simulation};
 use rand::Rng;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 struct StoreState {
     objects: BTreeMap<String, (f64, SimTime)>, // bytes, put time (ordered for deterministic settlement)
@@ -44,8 +43,8 @@ pub struct ObjectStore {
     cfg: StorageConfig,
     link: SharedLink,
     meter: CostMeter,
-    state: Rc<RefCell<StoreState>>,
-    rng: Rc<RefCell<rand::rngs::StdRng>>,
+    state: Shared<StoreState>,
+    rng: Shared<rand::rngs::StdRng>,
 }
 
 impl ObjectStore {
@@ -53,10 +52,10 @@ impl ObjectStore {
     pub fn new(cfg: StorageConfig, meter: CostMeter, seeds: &SeedSource) -> Self {
         ObjectStore {
             link: SharedLink::new("object-store", cfg.aggregate_bps),
-            rng: Rc::new(RefCell::new(seeds.stream("object-store"))),
+            rng: shared(seeds.stream("object-store")),
             cfg,
             meter,
-            state: Rc::new(RefCell::new(StoreState {
+            state: shared(StoreState {
                 objects: BTreeMap::new(),
                 bytes_stored: 0.0,
                 peak_bytes: 0.0,
@@ -64,7 +63,7 @@ impl ObjectStore {
                 writes: 0,
                 injected_failures: 0,
                 tracer: Tracer::off(),
-            })),
+            }),
         }
     }
 
@@ -101,7 +100,7 @@ impl ObjectStore {
         bytes: f64,
         requests: u64,
         per_flow_cap: Option<f64>,
-        on_done: impl FnOnce(&mut Simulation, SimDuration) + 'static,
+        on_done: impl FnOnce(&mut Simulation, SimDuration) + Send + 'static,
     ) {
         let begin = sim.now();
         {
@@ -147,7 +146,7 @@ impl ObjectStore {
         bytes: f64,
         requests: u64,
         per_flow_cap: Option<f64>,
-        on_done: impl FnOnce(&mut Simulation, SimDuration) + 'static,
+        on_done: impl FnOnce(&mut Simulation, SimDuration) + Send + 'static,
     ) {
         let begin = sim.now();
         {
@@ -265,7 +264,6 @@ impl ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
 
     fn store(cfg: StorageConfig) -> (ObjectStore, CostMeter) {
         let meter = CostMeter::new();
@@ -280,7 +278,7 @@ mod tests {
         cfg.request_latency_secs = 1.0;
         let (s, _) = store(cfg);
         let mut sim = Simulation::new();
-        let done_at = Rc::new(Cell::new(0.0));
+        let done_at = shared(0.0);
         let d2 = done_at.clone();
         let s2 = s.clone();
         sim.schedule_now(move |sim| {
@@ -302,7 +300,7 @@ mod tests {
         let (s, _) = store(cfg);
         let mut sim = Simulation::new();
         let s2 = s.clone();
-        let end = Rc::new(Cell::new(0.0));
+        let end = shared(0.0);
         let e2 = end.clone();
         sim.schedule_now(move |sim| {
             s2.write(sim, 1000.0, 1, Some(10.0), move |sim, _| {
@@ -320,7 +318,7 @@ mod tests {
         cfg.request_latency_secs = 0.0;
         let (s, _) = store(cfg);
         let mut sim = Simulation::new();
-        let done = Rc::new(Cell::new(0u32));
+        let done = shared(0u32);
         for _ in 0..2 {
             let s2 = s.clone();
             let d = done.clone();
@@ -379,7 +377,7 @@ mod tests {
         let (s, _) = store(cfg);
         let mut sim = Simulation::new();
         let s2 = s.clone();
-        let end = Rc::new(Cell::new(0.0));
+        let end = shared(0.0);
         let e2 = end.clone();
         sim.schedule_now(move |sim| {
             s2.read(sim, 0.0, 1, None, move |sim, _| e2.set(sim.now().as_secs()));

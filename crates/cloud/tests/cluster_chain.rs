@@ -2,9 +2,8 @@
 //! master NIC (regression test for an event-loop livelock).
 
 use mashup_cloud::{ClusterConfig, ClusterTaskSpec, CostMeter, InstanceType, VmCluster};
+use mashup_sim::shared;
 use mashup_sim::{SeedSource, Simulation};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 #[test]
 fn wide_task_feeding_merge_through_master_terminates() {
@@ -15,7 +14,7 @@ fn wide_task_feeding_merge_through_master_terminates() {
         meter,
         &SeedSource::new(42),
     );
-    let done = Rc::new(RefCell::new(None));
+    let done = shared(None);
 
     let mut wide = ClusterTaskSpec::new("wide", 64, 5.0);
     wide.output_bytes = 1.0e7;

@@ -4,10 +4,9 @@ use mashup_cloud::{
     run_task_on_faas, ClusterConfig, ClusterTaskSpec, CostMeter, FaasConfig, FaasPlatform,
     FaasTaskSpec, InstanceType, ObjectStore, StorageConfig, VmCluster,
 };
+use mashup_sim::shared;
 use mashup_sim::{SeedSource, Simulation};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 fn run_cluster_task(nodes: usize, spec: ClusterTaskSpec) -> f64 {
     let mut sim = Simulation::new();
@@ -16,7 +15,7 @@ fn run_cluster_task(nodes: usize, spec: ClusterTaskSpec) -> f64 {
         CostMeter::new(),
         &SeedSource::new(1),
     );
-    let out = Rc::new(RefCell::new(None));
+    let out = shared(None);
     let o2 = out.clone();
     let c2 = cluster.clone();
     sim.schedule_now(move |sim| {
@@ -37,7 +36,7 @@ fn run_faas_task(spec: FaasTaskSpec) -> mashup_cloud::FaasRunStats {
     cfg.cold_start_secs = (1.0, 1.0);
     let faas = FaasPlatform::new(cfg, meter.clone(), &seeds);
     let store = ObjectStore::new(StorageConfig::s3_like(), meter, &seeds);
-    let out = Rc::new(RefCell::new(None));
+    let out = shared(None);
     let o2 = out.clone();
     sim.schedule_now(move |sim| {
         run_task_on_faas(sim, &faas, &store, spec, &seeds, move |_, stats| {

@@ -21,9 +21,8 @@ use crate::report::{TaskReport, WorkflowReport};
 use mashup_analyze::AnalysisError;
 use mashup_cloud::{ClusterTaskSpec, FaasTaskSpec};
 use mashup_dag::{TaskRef, Workflow};
-use mashup_sim::{SimTime, Simulation, TraceEvent, Tracer};
-use std::cell::RefCell;
-use std::rc::Rc;
+use mashup_sim::{shared, Shared, SimTime, Simulation, TraceEvent, Tracer};
+use std::sync::Arc;
 
 /// The storage key under which a task's output is registered.
 fn output_key(task_name: &str) -> String {
@@ -73,7 +72,7 @@ fn output_locations(w: &Workflow, plan: &PlacementPlan) -> Vec<Vec<OutputLocatio
 
 struct Driver {
     cfg: MashupConfig,
-    workflow: Rc<Workflow>,
+    workflow: Arc<Workflow>,
     plan: PlacementPlan,
     locations: Vec<Vec<OutputLocation>>,
     env_handles: EnvHandles,
@@ -198,9 +197,9 @@ fn execute_in_unchecked(
         );
     }
 
-    let driver = Rc::new(RefCell::new(Driver {
+    let driver = shared(Driver {
         cfg: cfg.clone(),
-        workflow: Rc::new(workflow.clone()),
+        workflow: Arc::new(workflow.clone()),
         plan: plan.clone(),
         locations,
         env_handles: EnvHandles {
@@ -213,7 +212,7 @@ fn execute_in_unchecked(
         reports: Vec::new(),
         remaining_in_phase: 0,
         finished_at: None,
-    }));
+    });
 
     let d2 = driver.clone();
     env.sim.schedule_now(move |sim| run_phase(sim, d2, 0));
@@ -244,7 +243,7 @@ fn execute_in_unchecked(
     }
 }
 
-fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize) {
+fn run_phase(sim: &mut Simulation, driver: Shared<Driver>, phase_idx: usize) {
     let (n_phases, n_tasks) = {
         let d = driver.borrow();
         let n = d.workflow.phases.len();
@@ -291,7 +290,7 @@ fn run_phase(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, phase_idx: usize
     }
 }
 
-fn prewarm_next_phase(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, phase_idx: usize) {
+fn prewarm_next_phase(sim: &mut Simulation, driver: &Shared<Driver>, phase_idx: usize) {
     let to_warm: Vec<(String, usize)> = {
         let d = driver.borrow();
         if !d.cfg.prewarm || phase_idx + 1 >= d.workflow.phases.len() {
@@ -340,7 +339,7 @@ pub(crate) fn input_requests(w: &Workflow, r: TaskRef) -> u64 {
         .max(1)
 }
 
-fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskRef) {
+fn spawn_serverless(sim: &mut Simulation, driver: &Shared<Driver>, r: TaskRef) {
     let (spec, handles) = {
         let d = driver.borrow();
         let w = &d.workflow;
@@ -427,12 +426,7 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Rc<RefCell<Driver>>, r: TaskR
     });
 }
 
-fn spawn_on_cluster(
-    sim: &mut Simulation,
-    driver: &Rc<RefCell<Driver>>,
-    r: TaskRef,
-    subcluster: usize,
-) {
+fn spawn_on_cluster(sim: &mut Simulation, driver: &Shared<Driver>, r: TaskRef, subcluster: usize) {
     let (spec, handles, to_store) = {
         let d = driver.borrow();
         let w = &d.workflow;
@@ -533,7 +527,7 @@ fn spawn_on_cluster(
     });
 }
 
-fn finish_task(sim: &mut Simulation, driver: Rc<RefCell<Driver>>, r: TaskRef, report: TaskReport) {
+fn finish_task(sim: &mut Simulation, driver: Shared<Driver>, r: TaskRef, report: TaskReport) {
     let next_phase = {
         let mut d = driver.borrow_mut();
         if d.tracer.is_on() {

@@ -34,10 +34,9 @@ use mashup_cloud::{
     FaasTaskSpec,
 };
 use mashup_dag::{Task, TaskRef, Workflow};
-use mashup_sim::{SimTime, TraceEvent, Tracer};
+use mashup_sim::{shared, SimTime, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// What the optimizer minimizes (Fig. 5 ablation; the paper's default is
@@ -755,7 +754,7 @@ impl Pdc {
             let tuned = self.cfg.clone().with_subclusters(k);
             let mut env = CloudEnv::with_seed_offset(&tuned, 0x9e3779b9);
             env.cluster.start_billing(env.sim.now());
-            let secs: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![0.0; n]));
+            let secs = shared(vec![0.0; n]);
             for (ti, t) in phase.tasks.iter().enumerate() {
                 let r = TaskRef::new(phase_idx, ti);
                 let spec = ClusterTaskSpec {
@@ -809,7 +808,7 @@ fn task_digest(t: &Task) -> u128 {
 /// completion, and returns the batch stats (shared by the probe and
 /// calibration paths, which only differ in how they build the spec).
 fn run_faas_batch(env: &mut CloudEnv, spec: FaasTaskSpec) -> FaasRunStats {
-    let out = Rc::new(RefCell::new(None));
+    let out = shared(None);
     let o2 = out.clone();
     let faas = env.faas.clone();
     let store = env.store.clone();

@@ -1,0 +1,36 @@
+//! # mashup-serve
+//!
+//! The serving layer over the Mashup engine: a multi-tenant planning
+//! service with admission control, the shared worker pool it and the
+//! figure sweep run on, and a closed-loop load-test harness.
+//!
+//! The `Rc<RefCell<..>>` → [`mashup_sim::Shared`] migration made whole
+//! engine runs `Send`; this crate is what that buys:
+//!
+//! * [`pool`] — [`par_map`]: shard independent deterministic runs across
+//!   worker threads, merging results in input order (`mashup-bench`'s
+//!   figure sweep delegates here);
+//! * [`service`] — [`PlanService`]: JSON plan/run requests from many
+//!   tenants, one shared [`PlanCache`] across all of them, a bounded
+//!   [`FairQueue`] that rejects past its depth limit (HTTP-429 analogue)
+//!   and round-robins across tenants;
+//! * [`loadtest`] — [`run_sweep`]: closed-loop clients measuring
+//!   throughput and p50/p95/p99 latency (`results/BENCH_serve.json`).
+//!
+//! [`PlanCache`]: mashup_core::PlanCache
+
+#![warn(missing_docs)]
+
+pub mod loadtest;
+pub mod pool;
+pub mod service;
+
+pub use loadtest::{
+    percentile, request_mix, run_point, run_scaling, run_sweep, LoadPoint, LoadTestReport,
+    LoadTestSpec, ScalingPoint, MIX_PERIOD,
+};
+pub use pool::{jobs, par_map, set_jobs};
+pub use service::{
+    FairQueue, PlanRequest, PlanService, Rejection, ReplyStatus, RequestKind, ServeReply,
+    ServiceConfig, ServiceStats, Ticket, WorkflowName,
+};

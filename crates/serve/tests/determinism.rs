@@ -1,0 +1,94 @@
+//! Worker-count determinism: the same request batch must produce
+//! bit-identical replies — and consistent plan-cache totals — whether the
+//! service drains it on 1, 4, or 16 workers.
+//!
+//! Two mixes pin down the two cache regimes:
+//!
+//! * **cold** — a fresh cache per run. Replies are pure functions of their
+//!   requests, so they cannot depend on scheduling; cache *lookup* and
+//!   *entry* totals are also exact (identical racing keys can split a
+//!   hit/miss differently, but total lookups and first-insert-wins entry
+//!   counts cannot move).
+//! * **warm** — the same batch after a serial pre-warm pass. Every lookup
+//!   is a hit, so the full hit/miss split is exact at any worker count.
+
+use mashup_serve::{request_mix, PlanService, ServeReply, ServiceConfig, Ticket, MIX_PERIOD};
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Two full mix periods: every distinct request shape appears twice, so
+/// cross-request cache reuse is in play even in the cold runs.
+fn batch() -> Vec<mashup_serve::PlanRequest> {
+    (0..2 * MIX_PERIOD).map(request_mix).collect()
+}
+
+fn drain_batch(service: &std::sync::Arc<PlanService>, workers: usize) -> Vec<ServeReply> {
+    let tickets: Vec<Ticket> = batch()
+        .into_iter()
+        .map(|r| service.submit(r).expect("admitted"))
+        .collect();
+    service.drain(workers);
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
+#[test]
+fn cold_batches_are_bit_identical_across_worker_counts() {
+    let mut serialized: Vec<String> = Vec::new();
+    let mut totals: Vec<(u64, u64)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let service = PlanService::new(ServiceConfig::default());
+        let replies = drain_batch(&service, workers);
+        serialized.push(serde_json::to_string(&replies).expect("serialize"));
+        let stats = service.stats().cache;
+        totals.push((stats.hits() + stats.misses(), stats.entries()));
+    }
+    assert_eq!(serialized[0], serialized[1]);
+    assert_eq!(serialized[0], serialized[2]);
+    assert_eq!(totals[0], totals[1], "cache lookup/entry totals moved");
+    assert_eq!(totals[0], totals[2], "cache lookup/entry totals moved");
+}
+
+#[test]
+fn warm_batches_are_bit_identical_and_all_hits_across_worker_counts() {
+    let mut serialized: Vec<String> = Vec::new();
+    let mut deltas: Vec<(u64, u64)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let service = PlanService::new(ServiceConfig::default());
+        // Serial pre-warm: one deterministic pass fills every cache key.
+        drain_batch(&service, 1);
+        let before = service.stats().cache;
+        let replies = drain_batch(&service, workers);
+        serialized.push(serde_json::to_string(&replies).expect("serialize"));
+        let after = service.stats().cache;
+        deltas.push((
+            after.hits() - before.hits(),
+            after.misses() - before.misses(),
+        ));
+    }
+    assert_eq!(serialized[0], serialized[1]);
+    assert_eq!(serialized[0], serialized[2]);
+    for (i, &(hits, misses)) in deltas.iter().enumerate() {
+        assert_eq!(misses, 0, "warm run {i} missed the cache");
+        assert_eq!(hits, deltas[0].0, "warm run {i} hit count moved");
+    }
+}
+
+#[test]
+fn warm_and_cold_replies_agree() {
+    // Memoization purity end-to-end: caching must never change an answer.
+    let cold = PlanService::new(ServiceConfig::default());
+    let warm = PlanService::new(ServiceConfig::default());
+    drain_batch(&warm, 1); // pre-warm
+
+    // Ticket ids count from service birth, so the warm service's second
+    // batch is offset; zero them out — everything else must match.
+    let strip = |mut replies: Vec<ServeReply>| {
+        for r in &mut replies {
+            r.id = 0;
+        }
+        serde_json::to_string(&replies).expect("serialize")
+    };
+    let cold_replies = strip(drain_batch(&cold, 4));
+    let warm_replies = strip(drain_batch(&warm, 4));
+    assert_eq!(cold_replies, warm_replies);
+}

@@ -19,15 +19,14 @@
 //! results are bit-for-bit unchanged.
 
 use crate::engine::{EventHandle, Simulation};
+use crate::shared::{shared, Shared};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, Tracer};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Completion epsilon: transfers within this many bytes of done are finished.
 const EPS_BYTES: f64 = 1e-6;
 
-type DoneFn = Box<dyn FnOnce(&mut Simulation)>;
+type DoneFn = Box<dyn FnOnce(&mut Simulation) + Send>;
 
 /// Identifier of an in-flight transfer on a particular link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -191,7 +190,7 @@ impl LinkState {
 /// A shareable handle to a fair-share link. Cloning shares the same channel.
 #[derive(Clone)]
 pub struct SharedLink {
-    inner: Rc<RefCell<LinkState>>,
+    inner: Shared<LinkState>,
 }
 
 impl SharedLink {
@@ -202,7 +201,7 @@ impl SharedLink {
             "link capacity must be positive"
         );
         SharedLink {
-            inner: Rc::new(RefCell::new(LinkState {
+            inner: shared(LinkState {
                 name: name.into(),
                 capacity: capacity_bps,
                 slab: Vec::new(),
@@ -217,7 +216,7 @@ impl SharedLink {
                 utilization_trace: Vec::new(),
                 trace_enabled: false,
                 tracer: Tracer::off(),
-            })),
+            }),
         }
     }
 
@@ -282,7 +281,7 @@ impl SharedLink {
         sim: &mut Simulation,
         bytes: f64,
         per_flow_cap: Option<f64>,
-        on_done: impl FnOnce(&mut Simulation) + 'static,
+        on_done: impl FnOnce(&mut Simulation) + Send + 'static,
     ) -> TransferId {
         assert!(bytes.is_finite() && bytes >= 0.0, "invalid transfer size");
         if bytes <= EPS_BYTES {
@@ -435,13 +434,11 @@ impl SharedLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn finish_times(link: &SharedLink, jobs: &[(f64, Option<f64>, f64)]) -> Vec<f64> {
         // jobs: (bytes, cap, start_time) -> completion times in job order.
         let mut sim = Simulation::new();
-        let out: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let out: Shared<Vec<(usize, f64)>> = shared(Vec::new());
         for (i, &(bytes, cap, start)) in jobs.iter().enumerate() {
             let link = link.clone();
             let out = out.clone();
@@ -524,10 +521,10 @@ mod tests {
     fn cancel_returns_outstanding_bytes_and_suppresses_callback() {
         let mut sim = Simulation::new();
         let link = SharedLink::new("l", 100.0);
-        let fired = Rc::new(RefCell::new(false));
+        let fired = shared(false);
         let fired2 = fired.clone();
         let link2 = link.clone();
-        let id = Rc::new(RefCell::new(None));
+        let id = shared(None);
         let id2 = id.clone();
         sim.schedule_at(SimTime::ZERO, move |sim| {
             let t = link2.start_transfer(sim, 1000.0, None, move |_| {

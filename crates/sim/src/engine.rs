@@ -1,11 +1,14 @@
 //! The discrete-event simulation core.
 //!
-//! Events are boxed `FnOnce(&mut Simulation)` closures ordered by
+//! Events are boxed `FnOnce(&mut Simulation) + Send` closures ordered by
 //! `(time, sequence-number)`. The sequence number makes simultaneous events
 //! fire in scheduling order, so a run is fully deterministic for a given
 //! seed and program order. World state lives outside the engine (typically
-//! behind `Rc<RefCell<..>>` handles captured by the event closures), which
-//! keeps the engine free of domain knowledge.
+//! behind [`Shared`](crate::Shared) handles captured by the event
+//! closures), which keeps the engine free of domain knowledge. Closures
+//! are `Send` so an entire simulation — queue, world handles, and all —
+//! can be built on one thread and executed on another; each run still
+//! executes single-threaded, which is where its determinism comes from.
 //!
 //! Cancellation uses a slot/generation slab rather than a tombstone set: a
 //! handle names a slot plus the generation it was issued for, and cancelling
@@ -21,8 +24,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// An event callback: runs at its scheduled instant with access to the engine
-/// so it can schedule follow-up events.
-pub type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+/// so it can schedule follow-up events. `Send` so simulations can migrate
+/// between worker threads while parked.
+pub type EventFn = Box<dyn FnOnce(&mut Simulation) + Send>;
 
 struct Scheduled {
     at: SimTime,
@@ -84,19 +88,17 @@ const COMPACT_MIN_DEAD: usize = 64;
 ///
 /// # Example
 /// ```
-/// use mashup_sim::{Simulation, SimDuration};
-/// use std::cell::Cell;
-/// use std::rc::Rc;
+/// use mashup_sim::{shared, Simulation, SimDuration};
 ///
 /// let mut sim = Simulation::new();
-/// let hits = Rc::new(Cell::new(0));
+/// let hits = shared(0);
 /// let h = hits.clone();
 /// sim.schedule_in(SimDuration::from_secs(5.0), move |sim| {
-///     h.set(h.get() + 1);
+///     *h.borrow_mut() += 1;
 ///     assert_eq!(sim.now().as_secs(), 5.0);
 /// });
 /// sim.run();
-/// assert_eq!(hits.get(), 1);
+/// assert_eq!(*hits.borrow(), 1);
 /// ```
 pub struct Simulation {
     now: SimTime,
@@ -180,7 +182,7 @@ impl Simulation {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        event: impl FnOnce(&mut Simulation) + 'static,
+        event: impl FnOnce(&mut Simulation) + Send + 'static,
     ) -> EventHandle {
         self.push_event(at, Box::new(event))
     }
@@ -256,14 +258,17 @@ impl Simulation {
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        event: impl FnOnce(&mut Simulation) + 'static,
+        event: impl FnOnce(&mut Simulation) + Send + 'static,
     ) -> EventHandle {
         self.schedule_at(self.now + delay, event)
     }
 
     /// Schedules `event` to run at the current instant, after all events
     /// already queued for this instant.
-    pub fn schedule_now(&mut self, event: impl FnOnce(&mut Simulation) + 'static) -> EventHandle {
+    pub fn schedule_now(
+        &mut self,
+        event: impl FnOnce(&mut Simulation) + Send + 'static,
+    ) -> EventHandle {
         self.schedule_at(self.now, event)
     }
 
@@ -379,10 +384,9 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use crate::shared::{shared, Shared};
 
-    fn record(log: &Rc<RefCell<Vec<u32>>>, id: u32) -> impl FnOnce(&mut Simulation) + 'static {
+    fn record(log: &Shared<Vec<u32>>, id: u32) -> impl FnOnce(&mut Simulation) + Send + 'static {
         let log = log.clone();
         move |_| log.borrow_mut().push(id)
     }
@@ -390,7 +394,7 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         sim.schedule_at(SimTime::from_secs(3.0), record(&log, 3));
         sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
         sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
@@ -402,7 +406,7 @@ mod tests {
     #[test]
     fn simultaneous_events_fire_in_schedule_order() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         for id in 0..10 {
             sim.schedule_at(SimTime::from_secs(1.0), record(&log, id));
         }
@@ -413,7 +417,7 @@ mod tests {
     #[test]
     fn events_can_schedule_followups() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let log2 = log.clone();
         sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
             log2.borrow_mut().push(sim.now().as_secs() as u32);
@@ -430,7 +434,7 @@ mod tests {
     #[test]
     fn cancel_prevents_execution() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let h = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
         sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
         sim.cancel(h);
@@ -441,7 +445,7 @@ mod tests {
     #[test]
     fn run_until_deadline_pauses_and_resumes() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
         sim.schedule_at(SimTime::from_secs(10.0), record(&log, 10));
         let t = sim.run_until(Some(SimTime::from_secs(5.0)));
@@ -463,7 +467,7 @@ mod tests {
     #[test]
     fn schedule_now_runs_after_current_instant_events() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let log2 = log.clone();
         sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
             log2.borrow_mut().push(100);
@@ -511,7 +515,7 @@ mod tests {
     #[test]
     fn cancel_of_fired_event_is_noop_even_after_slot_reuse() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let h1 = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
         sim.run();
         // h1's slot is free now; the next schedule reuses it with a bumped
@@ -525,7 +529,7 @@ mod tests {
     #[test]
     fn double_cancel_is_noop_even_after_slot_reuse() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let h1 = sim.schedule_at(SimTime::from_secs(1.0), record(&log, 1));
         sim.cancel(h1);
         sim.schedule_at(SimTime::from_secs(2.0), record(&log, 2));
@@ -554,7 +558,7 @@ mod tests {
     #[test]
     fn batch_scheduling_matches_individual_scheduling_order() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         sim.schedule_at(SimTime::from_secs(1.0), record(&log, 0));
         let batch: Vec<EventFn> = (1..=5)
             .map(|i| Box::new(record(&log, i)) as EventFn)
@@ -568,7 +572,7 @@ mod tests {
     #[test]
     fn same_instant_batch_interleaves_with_heap_events_by_seq() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let log2 = log.clone();
         // At t=1 the first event batch-schedules followups at the current
         // instant (ring path); an equal-time heap event scheduled earlier
@@ -589,7 +593,7 @@ mod tests {
     #[test]
     fn same_instant_events_are_cancellable() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let log2 = log.clone();
         sim.schedule_at(SimTime::from_secs(1.0), move |sim| {
             let h = sim.schedule_now(record(&log2, 1));
@@ -605,7 +609,7 @@ mod tests {
     #[test]
     fn compaction_retains_live_ring_entries() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let log2 = log.clone();
         // Inside one instant: a live ring event, then enough cancelled ones
         // to trip compaction; the survivor must still fire.
@@ -623,7 +627,7 @@ mod tests {
     #[test]
     fn batch_deadline_pause_preserves_pending_events() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         let batch: Vec<EventFn> = vec![Box::new(record(&log, 1)), Box::new(record(&log, 2))];
         sim.schedule_batch_at(SimTime::from_secs(10.0), batch);
         let t = sim.run_until(Some(SimTime::from_secs(5.0)));
@@ -637,7 +641,7 @@ mod tests {
     #[test]
     fn compaction_keeps_live_events_and_ordering() {
         let mut sim = Simulation::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = shared(Vec::new());
         // Interleave survivors with a tombstone flood large enough to trip
         // compaction several times over.
         let mut doomed = Vec::new();

@@ -18,9 +18,13 @@
 //!   structured event stream (see [`trace`]) the cloud and core layers
 //!   thread through every mechanism.
 //!
-//! Domain state lives outside the engine behind `Rc<RefCell<..>>` handles
-//! captured by event closures; see `mashup-cloud` for the cloud models built
-//! on top.
+//! Domain state lives outside the engine behind [`Shared`] handles
+//! (`Arc<AtomicRefCell<..>>`, see [`shared`](crate::shared())) captured by
+//! event closures; see `mashup-cloud` for the cloud models built on top.
+//! Every engine type is `Send`: a run is built, owned, and driven by one
+//! thread at a time (that confinement is where determinism comes from),
+//! but whole runs can be sharded across worker threads — the basis of the
+//! planning service and the parallel figure sweep.
 
 #![warn(missing_docs)]
 
@@ -29,6 +33,7 @@ mod engine;
 mod metrics;
 mod resource;
 mod rng;
+mod shared;
 mod time;
 pub mod trace;
 
@@ -37,5 +42,6 @@ pub use engine::{EventFn, EventHandle, Simulation};
 pub use metrics::{Counter, Histogram, Series, TimeWeightedGauge};
 pub use resource::Resource;
 pub use rng::{jitter_factor, stream_rng, SeedSource};
+pub use shared::{shared, AtomicRef, AtomicRefCell, AtomicRefMut, Shared};
 pub use time::{SimDuration, SimTime};
 pub use trace::{KillReason, TraceEvent, TraceRecord, Tracer};

@@ -6,13 +6,12 @@
 //! simulations deterministic and starvation-free.
 
 use crate::engine::Simulation;
+use crate::shared::{shared, Shared};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, Tracer};
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
 
-type Waiter = Box<dyn FnOnce(&mut Simulation)>;
+type Waiter = Box<dyn FnOnce(&mut Simulation) + Send>;
 
 struct State {
     name: String,
@@ -47,7 +46,7 @@ impl State {
 /// A shareable handle to a counted resource. Cloning shares the same pool.
 #[derive(Clone)]
 pub struct Resource {
-    inner: Rc<RefCell<State>>,
+    inner: Shared<State>,
 }
 
 impl Resource {
@@ -55,7 +54,7 @@ impl Resource {
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "resource capacity must be positive");
         Resource {
-            inner: Rc::new(RefCell::new(State {
+            inner: shared(State {
                 name: name.into(),
                 capacity,
                 in_use: 0,
@@ -65,7 +64,7 @@ impl Resource {
                 peak_in_use: 0,
                 total_grants: 0,
                 tracer: Tracer::off(),
-            })),
+            }),
         }
     }
 
@@ -108,7 +107,11 @@ impl Resource {
 
     /// Acquires one unit, invoking `granted` immediately (via a same-instant
     /// event) if a unit is free, otherwise when one is released.
-    pub fn acquire(&self, sim: &mut Simulation, granted: impl FnOnce(&mut Simulation) + 'static) {
+    pub fn acquire(
+        &self,
+        sim: &mut Simulation,
+        granted: impl FnOnce(&mut Simulation) + Send + 'static,
+    ) {
         let mut s = self.inner.borrow_mut();
         if s.in_use < s.capacity {
             s.advance_accounting(sim.now());
@@ -160,15 +163,13 @@ impl Resource {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     /// Runs `n` jobs of `dur` seconds each over a pool of `cap` units and
     /// returns the completion order and makespan.
     fn run_jobs(cap: usize, n: usize, dur: f64) -> (Vec<usize>, f64) {
         let mut sim = Simulation::new();
         let pool = Resource::new("slots", cap);
-        let done: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let done: Shared<Vec<usize>> = shared(Vec::new());
         for job in 0..n {
             let pool2 = pool.clone();
             let done2 = done.clone();

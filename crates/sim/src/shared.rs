@@ -1,0 +1,300 @@
+//! Thread-shardable shared state: [`AtomicRefCell`] and the [`Shared`]
+//! handle alias.
+//!
+//! The engine's world state (links, platforms, drivers) is built from
+//! cheap-clone handles to interior-mutable cells. Historically those were
+//! `Rc<RefCell<..>>`, which made every engine type `!Send` and pinned each
+//! run — and everything holding a handle to one — to the thread that built
+//! it. [`AtomicRefCell`] keeps the exact `RefCell` discipline (any number
+//! of overlapping shared borrows, or one exclusive borrow; conflicting
+//! borrows panic immediately rather than deadlock) but tracks borrows with
+//! an atomic counter, so a fully-built world can be handed to a worker
+//! thread and executed there.
+//!
+//! # Concurrency contract
+//!
+//! This is a *handoff* primitive, not a synchronization primitive. A
+//! simulation run is single-threaded internally: one thread builds the
+//! world, (at most) one thread at a time drives it, and determinism comes
+//! from that confinement. `AtomicRefCell` makes the handoff between
+//! threads sound (the atomic counter is sequentially consistent, so borrow
+//! state is visible across the move) and turns any accidental cross-thread
+//! *concurrent* mutation into a deterministic panic instead of a data
+//! race on the counter. It does not make concurrent access to the same
+//! cell a supported pattern — genuinely shared state (the plan cache,
+//! metric sinks) uses locks or atomics instead.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cheap-clone, thread-movable handle to interior-mutable state — the
+/// `Send` replacement for `Rc<RefCell<T>>`. Cloning shares the same cell.
+pub type Shared<T> = Arc<AtomicRefCell<T>>;
+
+/// Wraps `value` in a fresh [`Shared`] cell.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Arc::new(AtomicRefCell::new(value))
+}
+
+/// Write-borrow marker: the high bit of the borrow counter. Values below
+/// it count live shared borrows; `WRITING` alone marks the one exclusive
+/// borrow.
+const WRITING: usize = usize::MAX / 2 + 1;
+
+/// A `RefCell` whose borrow flag is an atomic counter, making it `Send`
+/// (and shareable behind [`Arc`]) for thread-confined state that only ever
+/// *moves* between threads. Borrow rules and panic behaviour are identical
+/// to [`std::cell::RefCell`]; see the module docs for the concurrency
+/// contract.
+pub struct AtomicRefCell<T: ?Sized> {
+    borrows: AtomicUsize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: moving the cell moves the T; with T: Send that is fine, and the
+// borrow counter is atomic so a handoff between threads observes a
+// consistent borrow state. The `Sync` impl intentionally mirrors
+// `Mutex<T>` (requires only `T: Send`) rather than `RwLock<T>` (which
+// also needs `T: Sync` for concurrent readers): the engine's runtime
+// contract is that a cell's borrows — shared ones included — all happen
+// on whichever single thread currently owns the run, so cross-thread
+// concurrent `&T` never occurs. See the module docs.
+unsafe impl<T: ?Sized + Send> Send for AtomicRefCell<T> {}
+unsafe impl<T: ?Sized + Send> Sync for AtomicRefCell<T> {}
+
+impl<T> AtomicRefCell<T> {
+    /// Creates a cell owning `value`.
+    pub fn new(value: T) -> Self {
+        AtomicRefCell {
+            borrows: AtomicUsize::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the cell and returns the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> AtomicRefCell<T> {
+    /// Immutably borrows the value. Any number of shared borrows may
+    /// overlap. Panics if an exclusive borrow is live — same discipline as
+    /// [`std::cell::RefCell::borrow`].
+    #[track_caller]
+    pub fn borrow(&self) -> AtomicRef<'_, T> {
+        let prev = self.borrows.fetch_add(1, Ordering::SeqCst);
+        if prev >= WRITING {
+            self.borrows.fetch_sub(1, Ordering::SeqCst);
+            panic!("already mutably borrowed");
+        }
+        // SAFETY: the counter now records a shared borrow and excluded any
+        // live exclusive borrow, so no `&mut T` exists.
+        AtomicRef {
+            value: unsafe { &*self.value.get() },
+            borrows: &self.borrows,
+        }
+    }
+
+    /// Mutably borrows the value. Panics if any borrow is live — same
+    /// discipline as [`std::cell::RefCell::borrow_mut`].
+    #[track_caller]
+    pub fn borrow_mut(&self) -> AtomicRefMut<'_, T> {
+        if self
+            .borrows
+            .compare_exchange(0, WRITING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            panic!("already borrowed");
+        }
+        // SAFETY: the CAS succeeded, so this is the only live borrow.
+        AtomicRefMut {
+            value: unsafe { &mut *self.value.get() },
+            borrows: &self.borrows,
+        }
+    }
+
+    /// Exclusive access through a unique reference — no runtime check
+    /// needed, mirroring [`std::cell::RefCell::get_mut`].
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: Copy> AtomicRefCell<T> {
+    /// Copies the value out — the [`std::cell::Cell::get`] convenience for
+    /// `Copy` payloads (takes a momentary shared borrow).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        *self.borrow()
+    }
+
+    /// Replaces the value — the [`std::cell::Cell::set`] convenience for
+    /// `Copy` payloads (takes a momentary exclusive borrow).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        *self.borrow_mut() = value;
+    }
+}
+
+impl<T: Default> Default for AtomicRefCell<T> {
+    fn default() -> Self {
+        AtomicRefCell::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for AtomicRefCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicRefCell")
+            .field("value", &&*self.borrow())
+            .finish()
+    }
+}
+
+/// Shared borrow guard for [`AtomicRefCell`].
+pub struct AtomicRef<'a, T: ?Sized> {
+    value: &'a T,
+    borrows: &'a AtomicUsize,
+}
+
+impl<T: ?Sized> Deref for AtomicRef<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T: ?Sized> Drop for AtomicRef<'_, T> {
+    fn drop(&mut self) {
+        self.borrows.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Exclusive borrow guard for [`AtomicRefCell`].
+pub struct AtomicRefMut<'a, T: ?Sized> {
+    value: &'a mut T,
+    borrows: &'a AtomicUsize,
+}
+
+impl<T: ?Sized> Deref for AtomicRefMut<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T: ?Sized> DerefMut for AtomicRefMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value
+    }
+}
+
+impl<T: ?Sized> Drop for AtomicRefMut<'_, T> {
+    fn drop(&mut self) {
+        self.borrows.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let cell = shared(41);
+        *cell.borrow_mut() += 1;
+        assert_eq!(*cell.borrow(), 42);
+    }
+
+    #[test]
+    fn clones_share_the_same_cell() {
+        let a = shared(vec![1u32]);
+        let b = a.clone();
+        b.borrow_mut().push(2);
+        assert_eq!(*a.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn shared_borrows_overlap() {
+        let cell = AtomicRefCell::new(7);
+        let r1 = cell.borrow();
+        let r2 = cell.borrow();
+        assert_eq!(*r1 + *r2, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "already borrowed")]
+    fn write_under_read_panics() {
+        let cell = AtomicRefCell::new(0);
+        let _r = cell.borrow();
+        let _w = cell.borrow_mut();
+    }
+
+    #[test]
+    #[should_panic(expected = "already mutably borrowed")]
+    fn read_under_write_panics() {
+        let cell = AtomicRefCell::new(0);
+        let _w = cell.borrow_mut();
+        let _r = cell.borrow();
+    }
+
+    #[test]
+    #[should_panic(expected = "already borrowed")]
+    fn double_write_panics() {
+        let cell = AtomicRefCell::new(0);
+        let _w1 = cell.borrow_mut();
+        let _w2 = cell.borrow_mut();
+    }
+
+    #[test]
+    fn borrows_release_on_drop() {
+        let cell = AtomicRefCell::new(1);
+        drop(cell.borrow());
+        drop(cell.borrow_mut());
+        assert_eq!(*cell.borrow(), 1);
+    }
+
+    #[test]
+    fn failed_read_does_not_leak_a_borrow() {
+        let cell = shared(0u32);
+        {
+            let _w = cell.borrow_mut();
+            let cell2 = cell.clone();
+            let read = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let _ = cell2.borrow();
+            }));
+            assert!(read.is_err());
+        }
+        // The failed read must have rolled its increment back.
+        assert_eq!(*cell.borrow_mut(), 0);
+    }
+
+    #[test]
+    fn a_world_built_here_runs_on_another_thread() {
+        let cell = shared(vec![0u64]);
+        let moved = cell.clone();
+        let handle = std::thread::spawn(move || {
+            moved.borrow_mut().push(9);
+            moved.borrow().iter().sum::<u64>()
+        });
+        assert_eq!(handle.join().expect("worker"), 9);
+        assert_eq!(cell.borrow().len(), 2);
+    }
+
+    #[test]
+    fn get_mut_bypasses_the_counter() {
+        let mut cell = AtomicRefCell::new(5);
+        *cell.get_mut() = 6;
+        assert_eq!(cell.into_inner(), 6);
+    }
+
+    /// Compile-time: the whole point of the type.
+    #[test]
+    fn shared_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Shared<Vec<u32>>>();
+        assert_send_sync::<AtomicRefCell<String>>();
+    }
+}

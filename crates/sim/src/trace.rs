@@ -25,9 +25,8 @@
 //! same records into Chrome's `trace_event` JSON for `chrome://tracing` /
 //! Perfetto.
 
+use crate::shared::Shared;
 use crate::time::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Why a function invocation was killed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -303,7 +302,7 @@ struct TraceBuf {
 /// default handle is off and records nothing.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    buf: Option<Rc<RefCell<TraceBuf>>>,
+    buf: Option<Shared<TraceBuf>>,
 }
 
 impl Tracer {
@@ -315,11 +314,11 @@ impl Tracer {
     /// A recording tracer at flow level (domain records only).
     pub fn new() -> Self {
         Tracer {
-            buf: Some(Rc::new(RefCell::new(TraceBuf {
+            buf: Some(crate::shared::shared(TraceBuf {
                 records: Vec::new(),
                 next_seq: 0,
                 verbose: false,
-            }))),
+            })),
         }
     }
 
@@ -327,11 +326,11 @@ impl Tracer {
     /// dispatch, resource grants, link transfers).
     pub fn verbose() -> Self {
         Tracer {
-            buf: Some(Rc::new(RefCell::new(TraceBuf {
+            buf: Some(crate::shared::shared(TraceBuf {
                 records: Vec::new(),
                 next_seq: 0,
                 verbose: true,
-            }))),
+            })),
         }
     }
 

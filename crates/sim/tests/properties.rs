@@ -1,9 +1,8 @@
 //! Property-based tests of the simulation engine invariants.
 
+use mashup_sim::{shared, Shared};
 use mashup_sim::{Resource, SharedLink, SimDuration, SimTime, Simulation};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
 
 proptest! {
     /// Events always fire in non-decreasing time order, and simultaneous
@@ -11,7 +10,7 @@ proptest! {
     #[test]
     fn event_order_is_deterministic(times in proptest::collection::vec(0u32..1000, 1..64)) {
         let mut sim = Simulation::new();
-        let log: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log: Shared<Vec<(f64, usize)>> = shared(Vec::new());
         for (i, &t) in times.iter().enumerate() {
             let log = log.clone();
             sim.schedule_at(SimTime::from_secs(t as f64), move |sim| {
@@ -57,7 +56,7 @@ proptest! {
         let total: f64 = sizes.iter().map(|&b| b as f64).sum();
         let mut sim = Simulation::new();
         let link = SharedLink::new("l", cap);
-        let done = Rc::new(RefCell::new(0usize));
+        let done = shared(0usize);
         for &b in &sizes {
             let done = done.clone();
             let link2 = link.clone();
@@ -83,7 +82,7 @@ proptest! {
         let bytes = bytes as f64;
         let mut sim = Simulation::new();
         let link = SharedLink::new("l", link_cap);
-        let finishes: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let finishes: Shared<Vec<f64>> = shared(Vec::new());
         for _ in 0..n {
             let f = finishes.clone();
             let link2 = link.clone();
@@ -111,8 +110,7 @@ proptest! {
         let link = SharedLink::new("prop", capacity);
         // Transfer ids are allocated sequentially per link, so the k-th
         // arrival gets id k; track each live flow's cap under that id.
-        let active: Rc<RefCell<std::collections::BTreeMap<u64, f64>>> =
-            Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+        let active: Shared<std::collections::BTreeMap<u64, f64>> = shared(std::collections::BTreeMap::new());
         let mut tids: Vec<(u64, mashup_sim::TransferId)> = Vec::new();
         let mut next_arrival: u64 = 0;
         let mut t = 0.0f64;
@@ -173,7 +171,7 @@ proptest! {
     fn runs_are_reproducible(times in proptest::collection::vec(0u32..100, 1..32)) {
         let run = |times: &[u32]| -> Vec<(f64, usize)> {
             let mut sim = Simulation::new();
-            let log: Rc<RefCell<Vec<(f64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            let log: Shared<Vec<(f64, usize)>> = shared(Vec::new());
             for (i, &t) in times.iter().enumerate() {
                 let log = log.clone();
                 sim.schedule_at(SimTime::from_secs(t as f64), move |sim| {

@@ -8,6 +8,8 @@
 //! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
 //! mashup compare  <workflow...>   [--nodes N]
 //! mashup trace    <workflow...>   [--nodes N] [--strategy S] [--format jsonl|chrome] [--out FILE] [--verbose] [--check]
+//! mashup serve    [--workers N] [--queue-depth N]
+//! mashup load-test [--requests N,N,...] [--parallelism N] [--workers N] [--no-scaling] [--out FILE] [--csv FILE]
 //! ```
 //!
 //! Built-in workflow names load the paper's benchmarks; anything else is
@@ -125,7 +127,10 @@ fn main() {
     let mut argv = std::env::args();
     let _bin = argv.next();
     let Some(cmd) = argv.next() else {
-        die("usage: mashup <validate|analyze|dot|plan|run|compare|trace> <workflow> [flags]")
+        die(
+            "usage: mashup <validate|analyze|dot|plan|run|compare|trace|serve|load-test> \
+             [workflow] [flags]",
+        )
     };
     match cmd.as_str() {
         "validate" => {
@@ -296,6 +301,160 @@ fn main() {
                 improvement_pct(mashup.expense.total(), traditional.expense.total())
             );
         }
+        "serve" => run_serve(argv),
+        "load-test" => run_load_test(argv),
         other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+/// `mashup serve`: JSONL planning service over stdio. Each stdin line is a
+/// `PlanRequest`; replies are written to stdout as JSONL in submission
+/// order. Admission rejections and parse errors go to stderr; the process
+/// exits once stdin closes and the backlog drains.
+fn run_serve(mut argv: std::env::Args) {
+    use mashup::serve::{PlanRequest, PlanService, ServiceConfig, Ticket};
+    let mut workers = mashup::serve::jobs();
+    let mut queue_depth = ServiceConfig::default().queue_depth;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--workers" => {
+                workers = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--queue-depth" => {
+                queue_depth = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queue-depth needs a positive integer"));
+            }
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    let service = PlanService::new(ServiceConfig { queue_depth });
+    let handles = service.spawn_workers(workers);
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for (lineno, line) in std::io::stdin().lines().enumerate() {
+        let line = line.unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: PlanRequest = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mashup serve: line {}: invalid request: {e}", lineno + 1);
+                continue;
+            }
+        };
+        match service.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(r) => eprintln!("mashup serve: line {}: rejected: {r}", lineno + 1),
+        }
+    }
+    for t in tickets {
+        let reply = t.wait();
+        println!(
+            "{}",
+            serde_json::to_string(&reply).unwrap_or_else(|e| die(&format!("serialize: {e}")))
+        );
+    }
+    service.shutdown();
+    for h in handles {
+        let _ = h.join();
+    }
+    let stats = service.stats();
+    eprintln!(
+        "mashup serve: {} completed, {} rejected, cache {:.1}% hits",
+        stats.completed,
+        stats.rejected,
+        {
+            let (h, m) = (stats.cache.hits(), stats.cache.misses());
+            if h + m == 0 {
+                0.0
+            } else {
+                h as f64 * 100.0 / (h + m) as f64
+            }
+        }
+    );
+}
+
+/// `mashup load-test`: the closed-loop sweep (see `mashup-serve`'s
+/// `loadtest` module and EXPERIMENTS.md §Planning-service load test).
+fn run_load_test(mut argv: std::env::Args) {
+    let mut request_counts: Vec<usize> = vec![1, 10, 100, 1000];
+    let mut parallelism = 100usize;
+    let mut workers = mashup::serve::jobs();
+    let mut with_scaling = true;
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--requests" => {
+                let list = argv
+                    .next()
+                    .unwrap_or_else(|| die("--requests needs a comma-separated list"));
+                request_counts = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad request count '{v}'")))
+                    })
+                    .collect();
+            }
+            "--parallelism" => {
+                parallelism = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--parallelism needs a positive integer"));
+            }
+            "--workers" => {
+                workers = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+            }
+            "--no-scaling" => with_scaling = false,
+            "--out" => out = Some(argv.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--csv" => csv = Some(argv.next().unwrap_or_else(|| die("--csv needs a path"))),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    let report = mashup::serve::run_sweep(&request_counts, parallelism, workers, with_scaling);
+    println!(
+        "closed-loop load test: {} cores, {} workers, up to {} clients",
+        report.host_cores, report.workers, report.parallelism
+    );
+    println!("requests  completed  rejected  throughput     p50      p95      p99");
+    for p in &report.points {
+        println!(
+            "{:>8}  {:>9}  {:>8}  {:>7.1}/s  {:>6.1}ms {:>6.1}ms {:>6.1}ms",
+            p.requests, p.completed, p.rejected, p.throughput_rps, p.p50_ms, p.p95_ms, p.p99_ms
+        );
+    }
+    if !report.scaling.is_empty() {
+        println!(
+            "\nworker scaling (warm cache, {} cores):",
+            report.host_cores
+        );
+        for s in &report.scaling {
+            println!(
+                "  {:>2} workers  {:>7.1}/s  {:>4.2}x",
+                s.workers, s.throughput_rps, s.speedup
+            );
+        }
+    }
+    if let Some(path) = &out {
+        let body = serde_json::to_string_pretty(&report)
+            .unwrap_or_else(|e| die(&format!("serialize: {e}")));
+        std::fs::write(path, body + "\n")
+            .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
+        eprintln!("wrote JSON report to {path}");
+    }
+    if let Some(path) = &csv {
+        std::fs::write(path, report.to_csv())
+            .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
+        eprintln!("wrote CSV report to {path}");
     }
 }

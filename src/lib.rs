@@ -13,6 +13,8 @@
 //! * [`baselines`] — traditional cluster, serverless-only, Pegasus-like,
 //!   Kepler-like;
 //! * [`local`] — the real thread-based execution backend;
+//! * [`serve`] — the multi-tenant planning service, shared worker pool,
+//!   and closed-loop load-test harness;
 //! * [`sim`] — the discrete-event substrate.
 //!
 //! ```
@@ -32,6 +34,7 @@ pub use mashup_cloud as cloud;
 pub use mashup_core as engine;
 pub use mashup_dag as dag;
 pub use mashup_local as local;
+pub use mashup_serve as serve;
 pub use mashup_sim as sim;
 pub use mashup_workflows as workflows;
 

@@ -18,6 +18,11 @@
 //!   substrates must report through the structured flight recorder
 //!   (`mashup_sim::Tracer`), not ad-hoc prints that bypass levels,
 //!   determinism guarantees, and the exporters.
+//! * **no-rc** — `std::rc::Rc`: the engine is `Send` end-to-end so whole
+//!   runs can shard across worker threads (the planning service, the
+//!   figure sweep). An `Rc` anywhere in the world state would silently pin
+//!   every type that transitively holds it back to one thread; share state
+//!   through `mashup_sim::Shared` (an `Arc<AtomicRefCell<..>>`) or `Arc`.
 //!
 //! A genuinely safe use (a keyed-lookup-only map, an observability timer)
 //! is exempted by a `// lint: allow(<rule>)` comment on the same line or
@@ -65,6 +70,15 @@ const RULES: &[Rule] = &[
         // "println!" also substring-matches "eprintln!".
         patterns: &["println!", "dbg!"],
         why: "substrates report through the structured Tracer, not ad-hoc prints",
+    },
+    Rule {
+        name: "no-rc",
+        // Import forms plus the constructor; bare `Rc<..>` in prose (the
+        // migration notes in shared.rs) stays legal, but any real use needs
+        // one of these to compile.
+        patterns: &["std::rc::Rc", "Rc::new("],
+        why:
+            "Rc pins engine state to one thread; use mashup_sim::Shared (Arc<AtomicRefCell>) or Arc",
     },
 ];
 
@@ -220,6 +234,11 @@ mod tests {
             ("adhoc-telemetry", "println!(\"scheduling {task}\");"),
             ("adhoc-telemetry", "eprintln!(\"warn: retry {n}\");"),
             ("adhoc-telemetry", "dbg!(&queue.len());"),
+            ("no-rc", "use std::rc::Rc;"),
+            (
+                "no-rc",
+                "let state = Rc::new(RefCell::new(World::default()));",
+            ),
         ];
         for (rule, line) in seeded {
             let hits = scan_str(line);
