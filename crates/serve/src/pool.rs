@@ -96,6 +96,25 @@ where
 mod tests {
     use super::*;
 
+    /// Serializes tests that touch the process-global [`JOBS`] override —
+    /// cargo runs tests in one binary concurrently, so an unguarded
+    /// `set_jobs` would leak into sibling tests' `jobs()` reads. Restores
+    /// auto mode on drop (panic included).
+    struct JobsGuard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+    impl JobsGuard {
+        fn lock() -> Self {
+            static LOCK: Mutex<()> = Mutex::new(());
+            JobsGuard(LOCK.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+
+    impl Drop for JobsGuard {
+        fn drop(&mut self) {
+            set_jobs(0);
+        }
+    }
+
     #[test]
     fn results_come_back_in_input_order() {
         // Uneven per-item work so completion order differs from input order.
@@ -111,12 +130,11 @@ mod tests {
 
     #[test]
     fn jobs_override_round_trips() {
-        let before = jobs();
+        let _guard = JobsGuard::lock();
         set_jobs(3);
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
-        let _ = before;
     }
 
     #[test]
@@ -128,12 +146,12 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree() {
+        let _guard = JobsGuard::lock();
         let items: Vec<u64> = (0..40).collect();
         set_jobs(1);
         let serial = par_map(items.clone(), |i| i * i + 1);
         set_jobs(4);
         let parallel = par_map(items, |i| i * i + 1);
-        set_jobs(0);
         assert_eq!(serial, parallel);
     }
 
@@ -141,12 +159,12 @@ mod tests {
     fn whole_engine_runs_shard_across_workers() {
         // The motivating use: complete simulated runs on worker threads.
         use mashup_core::{Mashup, MashupConfig};
+        let _guard = JobsGuard::lock();
         let w = mashup_workflows::generate(&mashup_workflows::SyntheticConfig::default(), 7);
         set_jobs(4);
         let reports = par_map(vec![2usize, 4, 8], |nodes| {
             Mashup::new(MashupConfig::aws(nodes)).run(&w).report
         });
-        set_jobs(0);
         assert_eq!(reports.len(), 3);
         for r in &reports {
             assert!(r.makespan_secs > 0.0);

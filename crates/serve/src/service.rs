@@ -166,12 +166,16 @@ pub struct ServeReply {
 pub enum Rejection {
     /// The bounded queue is at its depth limit — retry later (HTTP 429).
     QueueFull,
+    /// [`PlanService::shutdown`] has been called — the service accepts no
+    /// new work (HTTP 503).
+    ShuttingDown,
 }
 
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Rejection::QueueFull => write!(f, "queue full"),
+            Rejection::ShuttingDown => write!(f, "shutting down"),
         }
     }
 }
@@ -275,7 +279,7 @@ impl Default for ServiceConfig {
 pub struct ServiceStats {
     /// Requests admitted to the queue.
     pub admitted: u64,
-    /// Requests refused with [`Rejection::QueueFull`].
+    /// Requests refused at submission (queue full, shutting down).
     pub rejected: u64,
     /// Requests fully processed.
     pub completed: u64,
@@ -365,7 +369,8 @@ impl PlanService {
     }
 
     /// Admits `req` to the queue, returning a [`Ticket`] to wait on, or
-    /// refuses with [`Rejection::QueueFull`] at the depth limit.
+    /// refuses with [`Rejection::QueueFull`] at the depth limit and
+    /// [`Rejection::ShuttingDown`] after [`shutdown`](Self::shutdown).
     pub fn submit(&self, req: PlanRequest) -> Result<Ticket, Rejection> {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let slot = Arc::new(Slot {
@@ -380,6 +385,13 @@ impl PlanService {
         };
         {
             let mut state = self.state.lock().expect("service lock");
+            // Checked under the state lock: after `shutdown` flips `open`,
+            // workers exit once the queue drains, so admitting here would
+            // strand the job (its ticket would wait forever).
+            if !state.open {
+                self.rejected.fetch_add(1, Ordering::SeqCst);
+                return Err(Rejection::ShuttingDown);
+            }
             if let Err(e) = state.queue.push(&tenant, job) {
                 self.rejected.fetch_add(1, Ordering::SeqCst);
                 return Err(e);
@@ -474,7 +486,26 @@ impl PlanService {
     }
 
     fn process(&self, job: Job) {
-        let reply = execute_request(job.id, &job.req, &self.cache);
+        // A panicking request (an engine bug, a borrow-conflict panic) must
+        // still produce a reply: the client is blocked in `Ticket::wait` and
+        // a silently-dead worker would strand it forever. The panic is
+        // converted to a `Refused` reply and the worker keeps serving.
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_request(job.id, &job.req, &self.cache)
+        }))
+        .unwrap_or_else(|panic| ServeReply {
+            id: job.id,
+            tenant: job.req.tenant.clone(),
+            workflow: format!("{:?}", job.req.workflow),
+            status: ReplyStatus::Refused,
+            makespan_secs: 0.0,
+            expense_dollars: 0.0,
+            profiling_expense_dollars: 0.0,
+            serverless_tasks: 0,
+            vm_tasks: 0,
+            subclusters: 0,
+            detail: format!("worker panicked: {}", panic_message(&*panic)),
+        });
         self.completed.fetch_add(1, Ordering::SeqCst);
         let mut guard = job.slot.reply.lock().expect("ticket lock");
         *guard = Some(reply);
@@ -482,10 +513,28 @@ impl PlanService {
     }
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Executes one request against the engine. Pure in the request: the
 /// engine is seed-deterministic and the shared cache is memoization-pure,
 /// so the reply is identical whichever worker runs it, cache warm or cold.
 fn execute_request(id: u64, req: &PlanRequest, cache: &Arc<PlanCache>) -> ServeReply {
+    // Deterministic fault injection for the worker-panic tests: engine
+    // panics cannot be provoked through the public API (by design), so the
+    // test binary smuggles one in via a reserved tenant name.
+    #[cfg(test)]
+    if req.tenant == "__panic" {
+        panic!("injected test panic");
+    }
     let workflow = req.workflow.build(req.seed);
     let cfg = MashupConfig::aws(req.nodes.max(1));
     let base = ServeReply {
@@ -666,6 +715,52 @@ mod tests {
             h.join().expect("worker exits");
         }
         assert_eq!(service.stats().completed, 6);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = PlanService::new(ServiceConfig::default());
+        let admitted = service.submit(req("t", 0)).expect("admitted");
+        service.shutdown();
+        assert_eq!(
+            service.submit(req("t", 1)).map(|t| t.id()),
+            Err(Rejection::ShuttingDown)
+        );
+        // Work admitted before the shutdown still completes.
+        service.drain(1);
+        assert_eq!(admitted.wait().status, ReplyStatus::Done);
+        let stats = service.stats();
+        assert_eq!((stats.admitted, stats.rejected, stats.completed), (1, 1, 1));
+    }
+
+    #[test]
+    fn panicking_request_still_answers_its_ticket() {
+        let service = PlanService::new(ServiceConfig::default());
+        let bad = service.submit(req("__panic", 0)).expect("admitted");
+        service.drain(1);
+        let reply = bad.wait();
+        assert_eq!(reply.status, ReplyStatus::Refused);
+        assert!(
+            reply.detail.contains("injected test panic"),
+            "detail carries the panic message: {}",
+            reply.detail
+        );
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_request() {
+        let service = PlanService::new(ServiceConfig::default());
+        let handles = service.spawn_workers(1);
+        let bad = service.submit(req("__panic", 0)).expect("admitted");
+        let good = service.submit(req("t", 1)).expect("admitted");
+        // The single worker must outlive the panic to serve the second job.
+        assert_eq!(bad.wait().status, ReplyStatus::Refused);
+        assert_eq!(good.wait().status, ReplyStatus::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().expect("worker exits cleanly");
+        }
+        assert_eq!(service.stats().completed, 2);
     }
 
     #[test]

@@ -5,24 +5,34 @@
 //! cheap-clone handles to interior-mutable cells. Historically those were
 //! `Rc<RefCell<..>>`, which made every engine type `!Send` and pinned each
 //! run — and everything holding a handle to one — to the thread that built
-//! it. [`AtomicRefCell`] keeps the exact `RefCell` discipline (any number
-//! of overlapping shared borrows, or one exclusive borrow; conflicting
-//! borrows panic immediately rather than deadlock) but tracks borrows with
-//! an atomic counter, so a fully-built world can be handed to a worker
-//! thread and executed there.
+//! it. [`AtomicRefCell`] tracks its borrow flag with an atomic, so a
+//! fully-built world can be handed to a worker thread and executed there.
 //!
-//! # Concurrency contract
+//! The borrow discipline is *stricter* than `RefCell`: **every** borrow is
+//! exclusive — at most one live borrow per cell at any instant, shared or
+//! mutable — and a conflicting borrow panics immediately rather than
+//! deadlock. This is what makes the cell sound to share across threads
+//! (see below); the engine never overlaps borrows of a single cell, so the
+//! stricter rule costs it nothing.
 //!
-//! This is a *handoff* primitive, not a synchronization primitive. A
-//! simulation run is single-threaded internally: one thread builds the
-//! world, (at most) one thread at a time drives it, and determinism comes
-//! from that confinement. `AtomicRefCell` makes the handoff between
-//! threads sound (the atomic counter is sequentially consistent, so borrow
-//! state is visible across the move) and turns any accidental cross-thread
-//! *concurrent* mutation into a deterministic panic instead of a data
-//! race on the counter. It does not make concurrent access to the same
-//! cell a supported pattern — genuinely shared state (the plan cache,
-//! metric sinks) uses locks or atomics instead.
+//! # Concurrency contract — why `Sync` only needs `T: Send`
+//!
+//! The cell is `Sync` for `T: Send` for the same reason `Mutex<T>` is: no
+//! two threads can ever observe `&T` (or `&mut T`) at the same time. A
+//! `borrow()` here is a try-lock that panics instead of blocking, not a
+//! reader-count — if shared borrows could overlap, two threads could both
+//! reach a `Send`-but-`!Sync` payload through `&T` (e.g. both calling
+//! `Cell::set`), a data race reachable from safe code. Exclusivity closes
+//! that hole at the cost of disallowing overlapping reads, which the
+//! engine's `RefCell`-era code never relied on.
+//!
+//! Operationally this remains a *handoff* primitive, not a contention
+//! primitive. A simulation run is single-threaded internally: one thread
+//! builds the world, (at most) one thread at a time drives it, and
+//! determinism comes from that confinement. The sequentially consistent
+//! borrow flag makes the handoff sound, and any accidental cross-thread
+//! concurrent access panics deterministically. Genuinely shared state (the
+//! plan cache, metric sinks) uses locks or atomics instead.
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -38,30 +48,40 @@ pub fn shared<T>(value: T) -> Shared<T> {
     Arc::new(AtomicRefCell::new(value))
 }
 
-/// Write-borrow marker: the high bit of the borrow counter. Values below
-/// it count live shared borrows; `WRITING` alone marks the one exclusive
-/// borrow.
+/// Shared-borrow marker: the flag is `READING` while an [`AtomicRef`] is
+/// live. Borrows are exclusive, so the flag is exactly `0`, `READING`, or
+/// `WRITING` — never a count.
+const READING: usize = 1;
+
+/// Exclusive-borrow marker: the flag is `WRITING` while an
+/// [`AtomicRefMut`] is live.
 const WRITING: usize = usize::MAX / 2 + 1;
 
-/// A `RefCell` whose borrow flag is an atomic counter, making it `Send`
-/// (and shareable behind [`Arc`]) for thread-confined state that only ever
-/// *moves* between threads. Borrow rules and panic behaviour are identical
-/// to [`std::cell::RefCell`]; see the module docs for the concurrency
-/// contract.
+/// A `RefCell`-style cell whose borrow flag is an atomic, making it `Send`
+/// and `Sync` (and shareable behind [`Arc`]) for thread-confined state
+/// that only ever *moves* between threads. Stricter than
+/// [`std::cell::RefCell`]: every borrow — [`borrow`](Self::borrow)
+/// included — is exclusive, like a [`std::sync::Mutex`] try-lock that
+/// panics instead of blocking. See the module docs for why that
+/// exclusivity is what makes sharing the cell across threads sound.
 pub struct AtomicRefCell<T: ?Sized> {
     borrows: AtomicUsize,
     value: UnsafeCell<T>,
 }
 
 // SAFETY: moving the cell moves the T; with T: Send that is fine, and the
-// borrow counter is atomic so a handoff between threads observes a
-// consistent borrow state. The `Sync` impl intentionally mirrors
-// `Mutex<T>` (requires only `T: Send`) rather than `RwLock<T>` (which
-// also needs `T: Sync` for concurrent readers): the engine's runtime
-// contract is that a cell's borrows — shared ones included — all happen
-// on whichever single thread currently owns the run, so cross-thread
-// concurrent `&T` never occurs. See the module docs.
+// borrow flag is atomic so a handoff between threads observes a consistent
+// borrow state.
 unsafe impl<T: ?Sized + Send> Send for AtomicRefCell<T> {}
+// SAFETY: `Sync` with only `T: Send` is sound for the same reason it is
+// for `Mutex<T>`: every borrow — shared or mutable — is exclusive (the
+// flag transitions 0 -> READING/WRITING via compare-exchange and back to 0
+// on guard drop), so no two threads can simultaneously hold references
+// into the cell, and the SeqCst flag orders each access after the previous
+// one's release. Concurrent borrow attempts panic rather than race. A
+// reader-counted variant (overlapping shared borrows, as in the published
+// `atomic_refcell` crate) would instead require `T: Sync`, because two
+// threads could then reach a `!Sync` payload through `&T` concurrently.
 unsafe impl<T: ?Sized + Send> Sync for AtomicRefCell<T> {}
 
 impl<T> AtomicRefCell<T> {
@@ -80,18 +100,24 @@ impl<T> AtomicRefCell<T> {
 }
 
 impl<T: ?Sized> AtomicRefCell<T> {
-    /// Immutably borrows the value. Any number of shared borrows may
-    /// overlap. Panics if an exclusive borrow is live — same discipline as
-    /// [`std::cell::RefCell::borrow`].
+    /// Immutably borrows the value. Panics if **any** borrow is live —
+    /// stricter than [`std::cell::RefCell::borrow`]: shared borrows do not
+    /// overlap (each one is an exclusive lock), which is what lets the
+    /// cell be `Sync` without `T: Sync`. See the module docs.
     #[track_caller]
     pub fn borrow(&self) -> AtomicRef<'_, T> {
-        let prev = self.borrows.fetch_add(1, Ordering::SeqCst);
-        if prev >= WRITING {
-            self.borrows.fetch_sub(1, Ordering::SeqCst);
-            panic!("already mutably borrowed");
+        if self
+            .borrows
+            .compare_exchange(0, READING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            if self.borrows.load(Ordering::SeqCst) >= WRITING {
+                panic!("already mutably borrowed");
+            }
+            panic!("already borrowed");
         }
-        // SAFETY: the counter now records a shared borrow and excluded any
-        // live exclusive borrow, so no `&mut T` exists.
+        // SAFETY: the CAS succeeded, so this is the only live borrow — no
+        // other `&T` or `&mut T` exists anywhere, on any thread.
         AtomicRef {
             value: unsafe { &*self.value.get() },
             borrows: &self.borrows,
@@ -217,11 +243,22 @@ mod tests {
     }
 
     #[test]
-    fn shared_borrows_overlap() {
+    fn sequential_reads_work() {
         let cell = AtomicRefCell::new(7);
-        let r1 = cell.borrow();
-        let r2 = cell.borrow();
-        assert_eq!(*r1 + *r2, 14);
+        let a = *cell.borrow();
+        let b = *cell.borrow();
+        assert_eq!(a + b, 14);
+    }
+
+    /// Shared borrows are exclusive — the soundness lynchpin of the
+    /// `Sync for T: Send` impl (two overlapping `&T` across threads would
+    /// be a data race on a `Send`-but-`!Sync` payload).
+    #[test]
+    #[should_panic(expected = "already borrowed")]
+    fn read_under_read_panics() {
+        let cell = AtomicRefCell::new(7);
+        let _r1 = cell.borrow();
+        let _r2 = cell.borrow();
     }
 
     #[test]
@@ -267,7 +304,7 @@ mod tests {
             }));
             assert!(read.is_err());
         }
-        // The failed read must have rolled its increment back.
+        // The failed read must not have disturbed the borrow flag.
         assert_eq!(*cell.borrow_mut(), 0);
     }
 
@@ -290,11 +327,15 @@ mod tests {
         assert_eq!(cell.into_inner(), 6);
     }
 
-    /// Compile-time: the whole point of the type.
+    /// Compile-time: the whole point of the type. The `Cell` payload is
+    /// `Send` but `!Sync` — admissible here precisely because borrows are
+    /// exclusive, so no two threads ever reach it through `&Cell<_>`.
     #[test]
     fn shared_handles_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Shared<Vec<u32>>>();
         assert_send_sync::<AtomicRefCell<String>>();
+        assert_send_sync::<AtomicRefCell<std::cell::Cell<u64>>>();
+        assert_send_sync::<Shared<Box<dyn FnOnce() + Send>>>();
     }
 }
