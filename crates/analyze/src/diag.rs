@@ -34,6 +34,10 @@ pub enum Code {
     /// its tasks carry distinct code identities, so schedulers and warm
     /// pools cannot group them.
     ScaleStructure,
+    /// A fusable chain of short tasks whose inter-task transfer cost
+    /// exceeds its compute: placed serverless, the pair would spend more
+    /// time moving its intermediate through storage than computing.
+    FusionProfitable,
     /// The plan leaves a task without a platform assignment.
     UnassignedTask,
     /// A FaaS-placed task cannot fit the timeout window even with
@@ -53,7 +57,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, in numeric order (fixture tests assert full coverage).
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 18] = [
         Code::EmptyStructure,
         Code::NotEarlierPhase,
         Code::DanglingReference,
@@ -64,6 +68,7 @@ impl Code {
         Code::PatternMismatch,
         Code::MissingConsumerData,
         Code::ScaleStructure,
+        Code::FusionProfitable,
         Code::UnassignedTask,
         Code::FaasWindowInfeasible,
         Code::FaasMemoryExceeded,
@@ -86,6 +91,7 @@ impl Code {
             Code::PatternMismatch => "M107",
             Code::MissingConsumerData => "M108",
             Code::ScaleStructure => "M109",
+            Code::FusionProfitable => "M110",
             Code::UnassignedTask => "M201",
             Code::FaasWindowInfeasible => "M202",
             Code::FaasMemoryExceeded => "M203",
@@ -96,16 +102,17 @@ impl Code {
         }
     }
 
-    /// The canonical severity of the code. `M108`/`M109`/`M204` are
+    /// The canonical severity of the code. `M108`/`M109`/`M110`/`M204` are
     /// advisory (the run still completes, just suspiciously); everything
     /// else stops the simulation before it starts. `M303` is an error in
     /// its nothing-can-start form and downgraded to a warning by the checks
     /// for the ramp-past-keep-alive form.
     pub fn severity(self) -> Severity {
         match self {
-            Code::MissingConsumerData | Code::ScaleStructure | Code::BoundaryStaging => {
-                Severity::Warning
-            }
+            Code::MissingConsumerData
+            | Code::ScaleStructure
+            | Code::FusionProfitable
+            | Code::BoundaryStaging => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -423,7 +430,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(strs, sorted, "Code::ALL must be unique and ordered");
-        assert_eq!(strs.len(), 17);
+        assert_eq!(strs.len(), 18);
     }
 
     #[test]

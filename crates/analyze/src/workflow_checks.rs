@@ -5,7 +5,7 @@
 //! round trip.
 
 use crate::diag::{Code, Diagnostic, Location};
-use mashup_dag::Workflow;
+use mashup_dag::{fusable_pairs, Workflow};
 use std::collections::BTreeSet;
 
 fn task_loc(w: &Workflow, phase: usize, task: usize) -> Location {
@@ -21,6 +21,18 @@ fn task_loc(w: &Workflow, phase: usize, task: usize) -> Location {
 /// phases of structurally distinct tasks defeat warm pools, bulk event
 /// scheduling, and probe sharing.
 const SCALE_WIDTH_THRESHOLD: usize = 64;
+
+/// M110: nominal object-store bandwidth (bytes/sec per component) used to
+/// price the intermediate transfer a fusion would eliminate. Deliberately
+/// a round mid-range figure — the check is a structural smell detector,
+/// not a cost model, so it only fires when transfer *dominates* compute.
+const FUSION_STORE_BPS: f64 = 5.0e7;
+
+/// M110: only chains of *short* tasks are flagged (serverless compute per
+/// component below this). Long tasks amortize their transfers; flagging
+/// them would drown the signal the paper's fusion rewrite targets —
+/// overhead-bound chains of small functions.
+const FUSION_SHORT_TASK_SECS: f64 = 30.0;
 
 /// Runs every M1xx check over `w`, collecting all findings.
 pub fn analyze_workflow(w: &Workflow) -> Vec<Diagnostic> {
@@ -172,6 +184,46 @@ pub fn analyze_workflow(w: &Workflow) -> Vec<Diagnostic> {
             }
         }
     }
+    // M110: a fusable pair of short tasks whose eliminated transfer costs
+    // more than the pair computes. Advisory — placed serverless as-is the
+    // chain still runs, it just spends most of its time in the store.
+    // Skipped when any dependency dangles: pair enumeration walks the
+    // task arena, which (reasonably) assumes in-range references.
+    let refs_ok = out.iter().all(|d| d.code != Code::DanglingReference);
+    for pair in if refs_ok {
+        fusable_pairs(w)
+    } else {
+        Vec::new()
+    } {
+        let p = &w.task(pair.producer).profile;
+        let c = &w.task(pair.consumer).profile;
+        let compute = p.compute_secs_serverless() + c.compute_secs_serverless();
+        let short = p.compute_secs_serverless() < FUSION_SHORT_TASK_SECS
+            && c.compute_secs_serverless() < FUSION_SHORT_TASK_SECS;
+        let transfer = (p.output_bytes + c.input_bytes) / FUSION_STORE_BPS;
+        if short && transfer > compute {
+            out.push(
+                Diagnostic::new(
+                    Code::FusionProfitable,
+                    task_loc(w, pair.producer.phase, pair.producer.task),
+                    format!(
+                        "fusable chain '{}' -> '{}' moves {:.0} bytes/component through \
+                         storage (~{:.1} s) but computes for only {:.1} s; placed \
+                         serverless it is transfer-bound",
+                        w.task(pair.producer).name,
+                        w.task(pair.consumer).name,
+                        p.output_bytes + c.input_bytes,
+                        transfer,
+                        compute
+                    ),
+                )
+                .with_help(
+                    "fuse the pair into one function (`mashup pareto` searches fusion \
+                     rewrites) or keep the chain on the VM cluster",
+                ),
+            );
+        }
+    }
     out
 }
 
@@ -264,6 +316,35 @@ mod tests {
         assert!(diags[0].message.contains("65 tasks"));
         // Same width, one shared code family: silent.
         assert!(analyze_workflow(&wide(Some("stencil"))).is_empty());
+    }
+
+    #[test]
+    fn fusion_profitable_chain_warns_and_compute_bound_chain_is_silent() {
+        let chain = |compute: f64| {
+            let mut b = WorkflowBuilder::new("chain");
+            b.initial_input_bytes(1e9);
+            b.begin_phase();
+            let a = b.add_task(Task::new(
+                "A",
+                4,
+                TaskProfile::trivial().compute(compute).io(0.0, 5e8),
+            ));
+            b.begin_phase();
+            let c = b.add_task(Task::new(
+                "B",
+                4,
+                TaskProfile::trivial().compute(compute).io(5e8, 0.0),
+            ));
+            b.depend(c, a, DependencyPattern::OneToOne);
+            b.build().expect("valid")
+        };
+        // 2 s of compute per stage against ~20 s of transfer: M110.
+        let diags = analyze_workflow(&chain(2.0));
+        assert_eq!(codes(&diags), vec![Code::FusionProfitable]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert!(diags[0].message.contains("transfer-bound"));
+        // The same bytes under long stages amortize fine: silent.
+        assert!(analyze_workflow(&chain(60.0)).is_empty());
     }
 
     #[test]

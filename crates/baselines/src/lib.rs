@@ -8,9 +8,11 @@
 //!   strengthening);
 //! * [`run_serverless_only`] — everything on FaaS with checkpointing;
 //! * [`run_pegasus`] — Pegasus-like: task clustering + data reuse on VMs;
-//! * [`run_kepler`] — Kepler-like: dataflow-fired task pipelining on VMs.
+//! * [`run_kepler`] — Kepler-like: dataflow-fired task pipelining on VMs;
+//! * [`run_fusion`] — Costless-like: greedy function fusion to a fixpoint
+//!   ([`maximal_fusion`]), then everything on FaaS.
 //!
-//! All four return the same [`mashup_core::WorkflowReport`] as Mashup, so
+//! All of them return the same [`mashup_core::WorkflowReport`] as Mashup, so
 //! the bench harness compares them uniformly. Every baseline also has a
 //! `*_traced` variant that records the execution into a
 //! [`mashup_core::Tracer`] flight recorder — the traced run is always
@@ -18,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+mod fusion;
 mod kepler;
 mod pegasus;
 mod serverless_only;
 mod traditional;
 
+pub use fusion::{maximal_fusion, run_fusion, run_fusion_traced};
 pub use kepler::{run_kepler, run_kepler_traced};
 pub use pegasus::{cluster_tasks, run_pegasus, run_pegasus_traced};
 pub use serverless_only::{run_serverless_only, run_serverless_only_traced};

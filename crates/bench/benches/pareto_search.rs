@@ -1,0 +1,229 @@
+//! Pareto plan-search throughput bench (`results/BENCH_pareto.json`).
+//!
+//! Two things are measured, on SRAsearch at 8 nodes:
+//!
+//! * **candidates/sec, cold vs warm** — the sweep's evaluate stage
+//!   (materialize → [`Pdc::replan_structural`] → [`estimate_plan`]) over
+//!   the first 100 candidates. *Cold* gives every candidate its own fresh
+//!   [`PlanCache`], so each one re-simulates calibration, VM profiling and
+//!   every probe from scratch — evaluation without cache sharing. *Warm*
+//!   is the sweep's actual configuration: one shared pre-filled cache, so
+//!   per-candidate planning is pure lookups. The ratio is the point of
+//!   the warm-cache sweep.
+//! * **end-to-end sweep wall time** at candidate budgets of 100, 1 000 and
+//!   10 000 — [`pareto_sweep_with`] from a fresh shared cache, execution
+//!   of the measured front included (what `mashup pareto` does).
+//!
+//! This binary writes its own JSON (richer than the criterion stub's
+//! `{name, mean_ns, iters}` records: per-sweep candidate counters plus
+//! derived candidates/sec), so it does not use the criterion harness. Run
+//! `BENCH_JSON=$PWD/results/BENCH_pareto.json cargo bench -p mashup-bench
+//! --bench pareto_search` from the repo root to refresh the committed
+//! numbers.
+
+use mashup_core::pareto::{enumerate, estimate_plan, materialize, SearchSpace};
+use mashup_core::{MashupConfig, Pdc, PlanCache};
+use mashup_serve::{pareto_sweep_with, SweepOutcome};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BUDGETS: [usize; 3] = [100, 1_000, 10_000];
+const EVAL_CANDIDATES: usize = 100;
+
+/// One measured configuration, serialized as a `BENCH_pareto.json` record.
+struct Row {
+    name: String,
+    budget: usize,
+    mode: &'static str,
+    iters: u64,
+    mean_wall_secs: f64,
+    generated: usize,
+    deduped: usize,
+    pruned: usize,
+    evaluated: usize,
+    coalesced: usize,
+    executed: usize,
+    candidates_per_sec: f64,
+}
+
+impl Row {
+    fn print(&self) {
+        println!(
+            "{}  time: [{:.4} ms]  {:.0} candidates/s  \
+             ({} generated, {} deduped, {} pruned, {} evaluated, {} coalesced, {} executed)",
+            self.name,
+            self.mean_wall_secs * 1e3,
+            self.candidates_per_sec,
+            self.generated,
+            self.deduped,
+            self.pruned,
+            self.evaluated,
+            self.coalesced,
+            self.executed,
+        );
+    }
+}
+
+fn sweep(cfg: &MashupConfig, budget: usize, cache: Arc<PlanCache>) -> SweepOutcome {
+    pareto_sweep_with(cfg, &mashup_workflows::srasearch::workflow(), budget, cache)
+}
+
+/// Measures the evaluate stage over the first [`EVAL_CANDIDATES`]
+/// candidates of the SRAsearch space, cold (fresh cache per candidate,
+/// including its own base plan) or warm (one shared pre-filled cache and
+/// base report, as in the real sweep).
+fn measure_eval(cfg: &MashupConfig, warm: bool) -> Row {
+    let w = mashup_workflows::srasearch::workflow();
+    let space = SearchSpace::new(cfg, &w);
+    let cands = enumerate(&space, EVAL_CANDIDATES);
+    let n = cands.len();
+    let shared = Arc::new(PlanCache::new());
+    let shared_base = Pdc::new(cfg.clone()).with_cache(shared.clone()).decide(&w);
+    if warm {
+        // Pre-fill the probe section for every tier the candidates touch.
+        for c in &cands {
+            let mat = materialize(&space, cfg, c);
+            let pdc = Pdc::new(cfg.clone())
+                .with_cache(shared.clone())
+                .with_sizing(mat.sizing.clone());
+            black_box(pdc.replan_structural(&w, &shared_base, &mat.workflow));
+        }
+    }
+    let mut iters = 0u64;
+    let mut total = 0.0f64;
+    while total < 0.5 && iters < 50 {
+        let start = Instant::now();
+        for c in &cands {
+            let mat = materialize(&space, cfg, c);
+            let (cache, base) = if warm {
+                (shared.clone(), &shared_base)
+            } else {
+                (Arc::new(PlanCache::new()), &shared_base)
+            };
+            let base_owned;
+            let base = if warm {
+                base
+            } else {
+                // Cold candidates re-plan the baseline too: nothing is
+                // amortized when nothing is shared.
+                base_owned = Pdc::new(cfg.clone()).with_cache(cache.clone()).decide(&w);
+                &base_owned
+            };
+            let pdc = Pdc::new(cfg.clone())
+                .with_cache(cache)
+                .with_sizing(mat.sizing.clone());
+            let (report, _) = pdc.replan_structural(&w, base, &mat.workflow);
+            black_box(estimate_plan(cfg, &mat.workflow, &mat.sizing, &report));
+        }
+        total += start.elapsed().as_secs_f64();
+        iters += 1;
+    }
+    let mean = total / iters as f64;
+    let mode = if warm { "warm" } else { "cold" };
+    let row = Row {
+        name: format!("pareto/eval_{mode}"),
+        budget: EVAL_CANDIDATES,
+        mode,
+        iters,
+        mean_wall_secs: mean,
+        generated: n,
+        deduped: 0,
+        pruned: 0,
+        evaluated: n,
+        coalesced: 0,
+        executed: 0,
+        candidates_per_sec: n as f64 / mean,
+    };
+    row.print();
+    row
+}
+
+/// Measures a full end-to-end sweep (fresh shared cache, front execution
+/// included) at `budget`.
+fn measure_sweep(cfg: &MashupConfig, budget: usize) -> Row {
+    let mut iters = 0u64;
+    let mut total = 0.0f64;
+    let mut last = None;
+    while total < 0.5 && iters < 50 {
+        let start = Instant::now();
+        let out = black_box(sweep(cfg, budget, Arc::new(PlanCache::new())));
+        total += start.elapsed().as_secs_f64();
+        iters += 1;
+        last = Some(out);
+    }
+    let out = last.expect("at least one sweep ran");
+    let s = &out.stats;
+    let mean = total / iters as f64;
+    let row = Row {
+        name: format!("pareto/sweep_b{budget}"),
+        budget,
+        mode: "sweep",
+        iters,
+        mean_wall_secs: mean,
+        generated: s.generated,
+        deduped: s.deduped,
+        pruned: s.pruned,
+        evaluated: s.evaluated,
+        coalesced: s.coalesced,
+        executed: s.executed,
+        candidates_per_sec: s.generated as f64 / mean,
+    };
+    row.print();
+    row
+}
+
+fn main() {
+    // `cargo test` runs harness=false bench binaries with `--test`: run one
+    // tiny sweep as a smoke check and measure nothing.
+    if std::env::args().any(|a| a == "--test") {
+        let out = sweep(&MashupConfig::aws(8), 20, Arc::new(PlanCache::new()));
+        assert!(!out.front.is_empty(), "sweep produced an empty front");
+        println!("pareto_search: ok (test mode)");
+        return;
+    }
+    let cfg = MashupConfig::aws(8);
+    let mut rows = Vec::new();
+    let cold = measure_eval(&cfg, false);
+    let warm = measure_eval(&cfg, true);
+    println!(
+        "pareto/warm_over_cold: {:.1}x",
+        warm.candidates_per_sec / cold.candidates_per_sec
+    );
+    rows.push(cold);
+    rows.push(warm);
+    for budget in BUDGETS {
+        rows.push(measure_sweep(&cfg, budget));
+    }
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"budget\": {}, \"mode\": \"{}\", \"iters\": {}, \
+             \"mean_wall_secs\": {}, \"generated\": {}, \"deduped\": {}, \"pruned\": {}, \
+             \"evaluated\": {}, \"coalesced\": {}, \"executed\": {}, \
+             \"candidates_per_sec\": {}}}",
+            r.name,
+            r.budget,
+            r.mode,
+            r.iters,
+            r.mean_wall_secs,
+            r.generated,
+            r.deduped,
+            r.pruned,
+            r.evaluated,
+            r.coalesced,
+            r.executed,
+            r.candidates_per_sec,
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, &out) {
+        eprintln!("pareto_search: failed to write {path}: {e}");
+    }
+}

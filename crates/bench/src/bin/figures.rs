@@ -118,6 +118,13 @@ fn main() {
         let f = bench::fig11_pareto();
         emit(dir, "fig11_pareto", &f, f.render());
     }
+    // Opt-in only — deliberately NOT covered by `all`: the search overlay
+    // extends the paper rather than reproducing it, and keeping it out of
+    // the default run keeps the golden figure set byte-stable.
+    if wanted.iter().any(|w| w == "fig11search") {
+        let f = bench::fig11_search();
+        emit(dir, "fig11_search", &f, f.render());
+    }
     if want("fig12") {
         let f = bench::fig12_managers();
         emit(dir, "fig12_managers", &f, f.render());

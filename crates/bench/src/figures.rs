@@ -807,6 +807,140 @@ impl Fig11 {
 }
 
 // ---------------------------------------------------------------------------
+// Fig. 11 extension — searched Pareto front vs the strategy points
+// ---------------------------------------------------------------------------
+
+/// One absolute (time, expense) point of the Fig. 11 search overlay.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11SearchPoint {
+    /// Workflow name.
+    pub workflow: String,
+    /// Point label: a strategy name, or a searched-candidate summary such
+    /// as `"fuse[A→B] size[C:8GB]"`.
+    pub label: String,
+    /// Measured end-to-end makespan, seconds.
+    pub makespan_secs: f64,
+    /// Measured total expense, dollars.
+    pub expense_dollars: f64,
+}
+
+/// Fig. 11 search-overlay result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Search {
+    /// Candidate budget each per-workflow sweep ran under.
+    pub budget: usize,
+    /// The measured Pareto front the sweep found, per workflow.
+    pub front: Vec<Fig11SearchPoint>,
+    /// The Fig. 11 strategy points, in absolute units.
+    pub strategies: Vec<Fig11SearchPoint>,
+    /// Workflows whose searched front weakly dominates (matches or beats
+    /// on both axes) every one of their strategy points.
+    pub dominated_workflows: Vec<String>,
+}
+
+/// Extends Fig. 11 with the Pareto plan search: for each paper workflow,
+/// sweeps the fusion × per-task-sizing candidate space in the Fig. 11
+/// regime (16 nodes) and overlays the measured front on the strategy
+/// scatter, in absolute units so dominance is checkable. Opt-in in the
+/// `figures` binary (`fig11search`) — it is an extension of the paper, not
+/// a reproduction, so it stays out of the default golden set.
+pub fn fig11_search() -> Fig11Search {
+    const BUDGET: usize = 200;
+    const STRATS: [(&str, Strategy); 3] = [
+        ("serverless", Strategy::ServerlessOnly),
+        ("vm-cluster", Strategy::TraditionalTuned),
+        ("mashup", Strategy::Mashup),
+    ];
+    let cfg = MashupConfig::aws(16);
+    let wfs = paper_workflows();
+    let cells: Vec<(usize, usize)> = (0..wfs.len())
+        .flat_map(|wi| (0..STRATS.len()).map(move |si| (wi, si)))
+        .collect();
+    let reports = par_map(cells, |(wi, si)| run_strategy(&cfg, &wfs[wi], STRATS[si].1));
+    let strategies: Vec<Fig11SearchPoint> = (0..wfs.len())
+        .flat_map(|wi| {
+            let reports = &reports;
+            let wfs = &wfs;
+            (0..STRATS.len()).map(move |si| {
+                let r = &reports[wi * STRATS.len() + si];
+                Fig11SearchPoint {
+                    workflow: wfs[wi].name.clone(),
+                    label: STRATS[si].0.into(),
+                    makespan_secs: r.makespan_secs,
+                    expense_dollars: r.expense.total(),
+                }
+            })
+        })
+        .collect();
+
+    // The sweeps parallelize internally (candidate evaluation fans out on
+    // the shared pool), so run the workflows one after another.
+    let mut front = Vec::new();
+    let mut dominated_workflows = Vec::new();
+    for w in &wfs {
+        let outcome = match crate::plan_cache::plan_cache() {
+            Some(cache) => mashup_serve::pareto_sweep_with(&cfg, w, BUDGET, cache),
+            None => mashup_serve::pareto_sweep(&cfg, w, BUDGET),
+        };
+        let covered = strategies.iter().filter(|s| s.workflow == w.name).all(|s| {
+            outcome.front.iter().any(|f| {
+                f.makespan_secs <= s.makespan_secs && f.expense_dollars <= s.expense_dollars
+            })
+        });
+        if covered {
+            dominated_workflows.push(w.name.clone());
+        }
+        front.extend(outcome.front.into_iter().map(|f| Fig11SearchPoint {
+            workflow: w.name.clone(),
+            label: f.label,
+            makespan_secs: f.makespan_secs,
+            expense_dollars: f.expense_dollars,
+        }));
+    }
+    Fig11Search {
+        budget: BUDGET,
+        front,
+        strategies,
+        dominated_workflows,
+    }
+}
+
+impl Fig11Search {
+    /// Renders the overlay table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["workflow", "point", "label", "time (s)", "expense"]);
+        for p in &self.strategies {
+            t.row(vec![
+                p.workflow.clone(),
+                "strategy".into(),
+                p.label.clone(),
+                f1(p.makespan_secs),
+                usd(p.expense_dollars),
+            ]);
+        }
+        for p in &self.front {
+            t.row(vec![
+                p.workflow.clone(),
+                "front".into(),
+                p.label.clone(),
+                f1(p.makespan_secs),
+                usd(p.expense_dollars),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "front covers every strategy point on: {}\n",
+            if self.dominated_workflows.is_empty() {
+                "(none)".into()
+            } else {
+                self.dominated_workflows.join(", ")
+            }
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 12 — against Pegasus and Kepler
 // ---------------------------------------------------------------------------
 

@@ -1,8 +1,8 @@
 //! Uniform access to every execution strategy under comparison.
 
 use mashup_baselines::{
-    run_kepler_traced, run_pegasus_traced, run_serverless_only_traced, run_traditional_traced,
-    run_traditional_tuned_traced,
+    run_fusion_traced, run_kepler_traced, run_pegasus_traced, run_serverless_only_traced,
+    run_traditional_traced, run_traditional_tuned_traced,
 };
 use mashup_core::{Mashup, MashupConfig, Tracer, WorkflowReport};
 use mashup_dag::Workflow;
@@ -17,6 +17,8 @@ pub enum Strategy {
     TraditionalTuned,
     /// Everything on FaaS with checkpointing.
     ServerlessOnly,
+    /// Costless-like greedy function fusion, then everything on FaaS.
+    Fusion,
     /// Pegasus-like: task clustering + data reuse on VMs.
     Pegasus,
     /// Kepler-like: dataflow-fired pipelining on VMs.
@@ -29,10 +31,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies in presentation order.
-    pub const ALL: [Strategy; 7] = [
+    pub const ALL: [Strategy; 8] = [
         Strategy::Traditional,
         Strategy::TraditionalTuned,
         Strategy::ServerlessOnly,
+        Strategy::Fusion,
         Strategy::Pegasus,
         Strategy::Kepler,
         Strategy::MashupWithoutPdc,
@@ -45,6 +48,7 @@ impl Strategy {
             Strategy::Traditional => "traditional",
             Strategy::TraditionalTuned => "traditional-tuned",
             Strategy::ServerlessOnly => "serverless-only",
+            Strategy::Fusion => "fusion",
             Strategy::Pegasus => "pegasus",
             Strategy::Kepler => "kepler",
             Strategy::MashupWithoutPdc => "mashup-wo-pdc",
@@ -83,6 +87,7 @@ pub fn run_strategy_traced(
         Strategy::Traditional => run_traditional_traced(cfg, workflow, tracer),
         Strategy::TraditionalTuned => run_traditional_tuned_traced(cfg, workflow, tracer),
         Strategy::ServerlessOnly => run_serverless_only_traced(cfg, workflow, tracer),
+        Strategy::Fusion => run_fusion_traced(cfg, workflow, tracer),
         Strategy::Pegasus => run_pegasus_traced(cfg, workflow, tracer),
         Strategy::Kepler => run_kepler_traced(cfg, workflow, tracer),
         Strategy::MashupWithoutPdc => Mashup::new(cfg.clone())

@@ -1,10 +1,25 @@
 //! Mashup engine configuration and the simulated cloud environment.
 
 use mashup_cloud::{
-    ClusterConfig, CostMeter, FaasPlatform, InstanceType, ObjectStore, ProviderPreset, VmCluster,
+    ClusterConfig, CostMeter, FaasConfig, FaasPlatform, InstanceType, ObjectStore, ProviderPreset,
+    VmCluster,
 };
+use mashup_dag::Workflow;
 use mashup_sim::{SeedSource, Simulation, Tracer};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The serverless memory tiers a per-task sizing may assign (GiB). The
+/// paper's single fixed function size (3 GB on AWS) is one point in this
+/// menu; the Pareto search (`crate::pareto`) picks a tier per task. Derived
+/// tier configs come from [`MashupConfig::faas_tier`].
+pub const MEMORY_TIERS_GB: [f64; 5] = [0.5, 1.0, 2.0, 3.0, 8.0];
+
+/// Quantizes a tier size to whole MiB for keying (f64 is not `Ord`, and
+/// tiers are coarse enough that MiB granularity is lossless).
+pub(crate) fn tier_key(gb: f64) -> u32 {
+    (gb * 1024.0).round() as u32
+}
 
 /// Everything Mashup needs to know about the target environment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +104,78 @@ impl MashupConfig {
         let write_secs = checkpoint_bytes / self.provider.faas.per_function_bps;
         self.checkpoint_margin_secs.max(write_secs * 1.2)
     }
+
+    /// Derives the FaaS configuration for a `gb` memory tier from the
+    /// provider's base function size, following the ICPS-style scaling the
+    /// major providers use: price per function-hour grows linearly with
+    /// memory (AWS Lambda GB-second pricing), while the vCPU share — and so
+    /// effective core speed — grows sub-linearly (square root, a diminishing
+    /// return that keeps the time/expense trade-off real: bigger functions
+    /// are faster per invocation but cost more per unit of work). Network
+    /// bandwidth and all start/timeout constants stay at the base values.
+    ///
+    /// Requesting the base tier returns the base config **unchanged**, so a
+    /// sizing that assigns every task the base tier reproduces the unsized
+    /// paper configuration bit-for-bit.
+    pub fn faas_tier(&self, gb: f64) -> FaasConfig {
+        let base = &self.provider.faas;
+        if tier_key(gb) == tier_key(base.memory_gb) {
+            return base.clone();
+        }
+        let ratio = gb / base.memory_gb;
+        let mut cfg = base.clone();
+        cfg.memory_gb = gb;
+        cfg.price_per_hour = base.price_per_hour * ratio;
+        cfg.core_speed = base.core_speed * ratio.sqrt();
+        cfg
+    }
+}
+
+/// A per-task serverless memory sizing: one tier (GiB) per flat task id of
+/// a specific workflow (phase-major order, matching
+/// [`TaskArena::flat`](mashup_dag::TaskArena::flat)). The unsized engine
+/// behaves exactly like [`Sizing::base`]; the Pareto search explores the
+/// rest of the menu.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sizing {
+    /// Tier (GiB) per flat task id.
+    pub tiers_gb: Vec<f64>,
+}
+
+impl Sizing {
+    /// Every task at the same tier.
+    pub fn uniform(workflow: &Workflow, gb: f64) -> Self {
+        Sizing {
+            tiers_gb: vec![gb; workflow.task_count()],
+        }
+    }
+
+    /// Every task at the provider's base function size — semantically the
+    /// unsized engine.
+    pub fn base(cfg: &MashupConfig, workflow: &Workflow) -> Self {
+        Self::uniform(workflow, cfg.provider.faas.memory_gb)
+    }
+
+    /// The tier assigned to a flat task id.
+    pub fn tier(&self, flat: usize) -> f64 {
+        self.tiers_gb[flat]
+    }
+
+    /// Whether every task sits at the provider's base function size.
+    pub fn is_base(&self, cfg: &MashupConfig) -> bool {
+        let base = tier_key(cfg.provider.faas.memory_gb);
+        self.tiers_gb.iter().all(|&gb| tier_key(gb) == base)
+    }
+
+    /// The distinct tiers present, ascending (deduplicated at MiB
+    /// granularity).
+    pub fn distinct_tiers(&self) -> Vec<f64> {
+        let mut seen: BTreeMap<u32, f64> = BTreeMap::new();
+        for &gb in &self.tiers_gb {
+            seen.entry(tier_key(gb)).or_insert(gb);
+        }
+        seen.into_values().collect()
+    }
 }
 
 /// One instantiated simulated environment: engine + cluster + FaaS + store
@@ -107,6 +194,11 @@ pub struct CloudEnv {
     pub meter: CostMeter,
     /// Seed source for executors.
     pub seeds: SeedSource,
+    /// Extra FaaS platforms for non-base memory tiers, keyed by tier MiB.
+    /// Empty unless the run uses per-task sizing ([`CloudEnv::provision_tiers`]);
+    /// the base tier always resolves to [`CloudEnv::faas`] so an all-base
+    /// sizing shares the unsized path's warm pools and billing stream.
+    tier_faas: BTreeMap<u32, FaasPlatform>,
 }
 
 impl CloudEnv {
@@ -121,7 +213,42 @@ impl CloudEnv {
             store: ObjectStore::new(cfg.provider.storage.clone(), meter.clone(), &seeds),
             meter,
             seeds,
+            tier_faas: BTreeMap::new(),
         }
+    }
+
+    /// Builds the extra per-tier FaaS platforms a sized run needs, one per
+    /// distinct non-base tier in `sizing`. Each platform derives its
+    /// stochastic streams from a tier-labelled seed child, charges the
+    /// shared meter, and maintains its own warm pools (a 2 GB function
+    /// cannot reuse a 0.5 GB microVM). Call before
+    /// [`attach_tracer`](CloudEnv::attach_tracer) so tier platforms are
+    /// traced too.
+    pub fn provision_tiers(&mut self, cfg: &MashupConfig, sizing: &Sizing) {
+        let base = tier_key(cfg.provider.faas.memory_gb);
+        for gb in sizing.distinct_tiers() {
+            let key = tier_key(gb);
+            if key == base || self.tier_faas.contains_key(&key) {
+                continue;
+            }
+            let seeds = self.seeds.child(&format!("faas-tier-{key}"));
+            self.tier_faas.insert(
+                key,
+                FaasPlatform::new(cfg.faas_tier(gb), self.meter.clone(), &seeds),
+            );
+        }
+    }
+
+    /// The FaaS platform serving a memory tier: the base platform for the
+    /// base tier (or any tier never provisioned), else the tier's own.
+    pub fn faas_for(&self, gb: f64) -> &FaasPlatform {
+        self.tier_faas.get(&tier_key(gb)).unwrap_or(&self.faas)
+    }
+
+    /// The provisioned non-base tier platforms, keyed by [`tier_key`] (the
+    /// executor clones these into its event-callback handles).
+    pub(crate) fn tier_platforms(&self) -> &BTreeMap<u32, FaasPlatform> {
+        &self.tier_faas
     }
 
     /// Builds an environment whose stochastic streams differ from the
@@ -141,6 +268,9 @@ impl CloudEnv {
         self.sim.set_tracer(tracer.clone());
         self.cluster.set_tracer(tracer.clone());
         self.faas.set_tracer(tracer.clone());
+        for platform in self.tier_faas.values_mut() {
+            platform.set_tracer(tracer.clone());
+        }
         self.store.set_tracer(tracer);
     }
 }
@@ -178,6 +308,67 @@ mod tests {
         assert_eq!(env.cluster.config().nodes, 8);
         assert_eq!(env.faas.config().timeout_secs, 900.0);
         assert_eq!(env.sim.now().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn tier_scaling_follows_price_linear_speed_sqrt() {
+        let cfg = MashupConfig::aws(4);
+        let base = &cfg.provider.faas;
+        // The base tier comes back unchanged (same struct, not a rescale
+        // that happens to round-trip).
+        assert_eq!(cfg.faas_tier(base.memory_gb), *base);
+        assert!(MEMORY_TIERS_GB.contains(&base.memory_gb));
+        let small = cfg.faas_tier(0.5);
+        let big = cfg.faas_tier(8.0);
+        assert_eq!(small.memory_gb, 0.5);
+        assert!(small.price_per_hour < base.price_per_hour);
+        assert!(small.core_speed < base.core_speed);
+        assert!(big.price_per_hour > base.price_per_hour);
+        assert!(big.core_speed > base.core_speed);
+        // Linear price: price/GB constant across tiers.
+        let per_gb = base.price_per_hour / base.memory_gb;
+        assert!((small.price_per_hour / small.memory_gb - per_gb).abs() < 1e-12);
+        assert!((big.price_per_hour / big.memory_gb - per_gb).abs() < 1e-12);
+        // Sub-linear speed: $/unit-of-work rises with the tier.
+        assert!(big.price_per_hour / big.core_speed > base.price_per_hour / base.core_speed);
+        // Non-scaled constants stay put.
+        assert_eq!(big.per_function_bps, base.per_function_bps);
+        assert_eq!(big.timeout_secs, base.timeout_secs);
+    }
+
+    #[test]
+    fn sizing_and_tier_platforms() {
+        use mashup_dag::{Task, TaskProfile, WorkflowBuilder};
+        let cfg = MashupConfig::aws(4);
+        let mut b = WorkflowBuilder::new("w");
+        b.begin_phase();
+        b.add_task(Task::new("A", 2, TaskProfile::trivial()));
+        b.add_task(Task::new("B", 2, TaskProfile::trivial()));
+        let w = b.build().expect("valid");
+        let base = Sizing::base(&cfg, &w);
+        assert!(base.is_base(&cfg));
+        assert_eq!(base.distinct_tiers(), vec![cfg.provider.faas.memory_gb]);
+        let mixed = Sizing {
+            tiers_gb: vec![0.5, cfg.provider.faas.memory_gb],
+        };
+        assert!(!mixed.is_base(&cfg));
+        assert_eq!(
+            mixed.distinct_tiers(),
+            vec![0.5, cfg.provider.faas.memory_gb]
+        );
+        let mut env = CloudEnv::new(&cfg);
+        env.provision_tiers(&cfg, &mixed);
+        // The base tier resolves to the base platform; 0.5 GB gets its own.
+        assert_eq!(
+            env.faas_for(cfg.provider.faas.memory_gb).config().memory_gb,
+            cfg.provider.faas.memory_gb
+        );
+        assert_eq!(env.faas_for(0.5).config().memory_gb, 0.5);
+        // An unprovisioned tier falls back to the base platform.
+        assert_eq!(
+            env.faas_for(2.0).config().memory_gb,
+            cfg.provider.faas.memory_gb
+        );
     }
 
     #[test]

@@ -15,13 +15,14 @@
 //!   phase runs (§3's prefetching mitigation);
 //! * the cluster bills node time for the whole run iff the plan uses it.
 
-use crate::config::{CloudEnv, MashupConfig};
+use crate::config::{tier_key, CloudEnv, MashupConfig, Sizing};
 use crate::placement::{PlacementPlan, Platform};
 use crate::report::{TaskReport, WorkflowReport};
-use mashup_analyze::AnalysisError;
-use mashup_cloud::{ClusterTaskSpec, FaasTaskSpec};
+use mashup_analyze::{AnalysisError, Code, Diagnostic, Location};
+use mashup_cloud::{ClusterTaskSpec, FaasPlatform, FaasTaskSpec};
 use mashup_dag::{TaskRef, Workflow};
 use mashup_sim::{shared, Shared, SimTime, Simulation, TraceEvent, Tracer};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The storage key under which a task's output is registered.
@@ -74,6 +75,9 @@ struct Driver {
     cfg: MashupConfig,
     workflow: Arc<Workflow>,
     plan: PlacementPlan,
+    /// Per-task memory tiers for a sized run; `None` runs every serverless
+    /// task on the base platform (the original engine, byte-identical).
+    sizing: Option<Sizing>,
     locations: Vec<Vec<OutputLocation>>,
     env_handles: EnvHandles,
     tracer: Tracer,
@@ -82,12 +86,30 @@ struct Driver {
     finished_at: Option<SimTime>,
 }
 
+impl Driver {
+    /// The FaaS platform a task runs on: its sizing-assigned tier's platform
+    /// when one was provisioned, the base platform otherwise.
+    fn faas_for_task(&self, r: TaskRef) -> &FaasPlatform {
+        if let Some(sizing) = &self.sizing {
+            if let Some(flat) = self.workflow.arena().flat(r) {
+                let key = tier_key(sizing.tier(flat));
+                if let Some(platform) = self.env_handles.tier_faas.get(&key) {
+                    return platform;
+                }
+            }
+        }
+        &self.env_handles.faas
+    }
+}
+
 /// Clonable handles into the environment (the `Simulation` itself stays
 /// outside and is threaded through event callbacks).
 #[derive(Clone)]
 struct EnvHandles {
     cluster: mashup_cloud::VmCluster,
     faas: mashup_cloud::FaasPlatform,
+    /// Non-base tier platforms of a sized run (empty otherwise).
+    tier_faas: BTreeMap<u32, FaasPlatform>,
     store: mashup_cloud::ObjectStore,
     seeds: mashup_sim::SeedSource,
 }
@@ -143,6 +165,126 @@ pub fn try_execute_traced(
     try_execute_in(&mut env, cfg, workflow, plan, strategy)
 }
 
+/// Like [`execute`], but runs each serverless task on the memory tier
+/// `sizing` assigns it (see [`Sizing`]): per-tier FaaS platforms are
+/// provisioned up front, each with its own warm pools and price point,
+/// and the executor routes every invocation, pre-warm, and burst-capacity
+/// read through the task's tier. A sizing that keeps every task at the
+/// provider's base tier reproduces [`execute`] bit-for-bit.
+///
+/// Panics when the analyzer refuses the inputs; use [`try_execute_sized`]
+/// for a typed refusal.
+pub fn execute_sized(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    sizing: &Sizing,
+    strategy: &str,
+) -> WorkflowReport {
+    try_execute_sized(cfg, workflow, plan, sizing, strategy).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`execute_sized`], but refuses error-diagnosed inputs with a typed
+/// [`AnalysisError`] instead of panicking mid-simulation.
+pub fn try_execute_sized(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    sizing: &Sizing,
+    strategy: &str,
+) -> Result<WorkflowReport, AnalysisError> {
+    preflight_sized(cfg, workflow, plan, sizing)?;
+    let mut env = CloudEnv::new(cfg);
+    env.provision_tiers(cfg, sizing);
+    Ok(execute_in_unchecked(
+        &mut env,
+        cfg,
+        workflow,
+        plan,
+        Some(sizing),
+        strategy,
+    ))
+}
+
+/// Like [`try_execute_sized`], but records the run into `tracer`.
+pub fn try_execute_sized_traced(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    sizing: &Sizing,
+    strategy: &str,
+    tracer: &Tracer,
+) -> Result<WorkflowReport, AnalysisError> {
+    preflight_sized(cfg, workflow, plan, sizing)?;
+    let mut env = CloudEnv::new(cfg);
+    env.provision_tiers(cfg, sizing);
+    env.attach_tracer(tracer.clone());
+    Ok(execute_in_unchecked(
+        &mut env,
+        cfg,
+        workflow,
+        plan,
+        Some(sizing),
+        strategy,
+    ))
+}
+
+/// The preflight gate for sized runs. The standard checks run with the
+/// function cap lifted to the sizing's largest tier (M203 against the base
+/// cap would falsely refuse tasks a bigger tier accommodates); the cap is
+/// then enforced per task against the tier the sizing actually assigns.
+/// The M202 window check keeps the base tier's core speed — slower tiers
+/// stretch compute, but the checkpoint-chaining runtime absorbs that.
+fn preflight_sized(
+    cfg: &MashupConfig,
+    workflow: &Workflow,
+    plan: &PlacementPlan,
+    sizing: &Sizing,
+) -> Result<(), AnalysisError> {
+    assert_eq!(
+        sizing.tiers_gb.len(),
+        workflow.task_count(),
+        "sizing must assign a tier to every task of '{}'",
+        workflow.name
+    );
+    let mut lifted = cfg.clone();
+    let max_tier = sizing
+        .distinct_tiers()
+        .last()
+        .copied()
+        .unwrap_or(cfg.provider.faas.memory_gb);
+    lifted.provider.faas.memory_gb = lifted.provider.faas.memory_gb.max(max_tier);
+    crate::analysis::preflight(&lifted, workflow, Some(plan))?;
+    let mut diags = Vec::new();
+    for r in workflow.task_refs() {
+        if plan.platform(r) != Ok(Platform::Serverless) {
+            continue;
+        }
+        let t = workflow.task(r);
+        let flat = workflow.arena().flat(r).expect("ref comes from task_refs");
+        let tier = sizing.tier(flat);
+        if t.profile.memory_gb > tier {
+            diags.push(
+                Diagnostic::new(
+                    Code::FaasMemoryExceeded,
+                    Location::Task {
+                        phase: r.phase,
+                        task: r.task,
+                        name: t.name.clone(),
+                    },
+                    format!(
+                        "component needs {:.2} GiB but its sizing tier is {tier:.2} GiB",
+                        t.profile.memory_gb
+                    ),
+                )
+                .with_help("assign a larger memory tier or place the task on the VM cluster"),
+            );
+        }
+    }
+    mashup_analyze::into_result(diags)?;
+    Ok(())
+}
+
 /// Executes in a caller-provided environment (lets the PDC reuse one
 /// environment across probes, and tests inject failure-laden stores).
 ///
@@ -168,7 +310,9 @@ pub fn try_execute_in(
     strategy: &str,
 ) -> Result<WorkflowReport, AnalysisError> {
     crate::analysis::preflight(cfg, workflow, Some(plan))?;
-    Ok(execute_in_unchecked(env, cfg, workflow, plan, strategy))
+    Ok(execute_in_unchecked(
+        env, cfg, workflow, plan, None, strategy,
+    ))
 }
 
 /// The executor proper. Callers arrive through the preflight gate, so the
@@ -180,6 +324,7 @@ fn execute_in_unchecked(
     cfg: &MashupConfig,
     workflow: &Workflow,
     plan: &PlacementPlan,
+    sizing: Option<&Sizing>,
     strategy: &str,
 ) -> WorkflowReport {
     let locations = output_locations(workflow, plan);
@@ -201,10 +346,12 @@ fn execute_in_unchecked(
         cfg: cfg.clone(),
         workflow: Arc::new(workflow.clone()),
         plan: plan.clone(),
+        sizing: sizing.cloned(),
         locations,
         env_handles: EnvHandles {
             cluster: env.cluster.clone(),
             faas: env.faas.clone(),
+            tier_faas: env.tier_platforms().clone(),
             store: env.store.clone(),
             seeds: env.seeds,
         },
@@ -291,12 +438,14 @@ fn run_phase(sim: &mut Simulation, driver: Shared<Driver>, phase_idx: usize) {
 }
 
 fn prewarm_next_phase(sim: &mut Simulation, driver: &Shared<Driver>, phase_idx: usize) {
-    let to_warm: Vec<(String, usize)> = {
+    // Pre-warming targets each task's own platform: warm pools live per
+    // tier (a 0.5 GB microVM cannot serve a 2 GB function), so both the
+    // burst threshold and the warm-up go to the tier's platform.
+    let to_warm: Vec<(FaasPlatform, String, usize)> = {
         let d = driver.borrow();
         if !d.cfg.prewarm || phase_idx + 1 >= d.workflow.phases.len() {
             Vec::new()
         } else {
-            let burst = d.env_handles.faas.config().burst_capacity;
             d.workflow.phases[phase_idx + 1]
                 .tasks
                 .iter()
@@ -304,20 +453,22 @@ fn prewarm_next_phase(sim: &mut Simulation, driver: &Shared<Driver>, phase_idx: 
                 .filter(|&(ti, _)| {
                     d.plan.platform(TaskRef::new(phase_idx + 1, ti)) == Ok(Platform::Serverless)
                 })
-                .filter(|(_, t)| t.components > burst)
-                .map(|(_, t)| {
+                .filter_map(|(ti, t)| {
+                    let faas = d.faas_for_task(TaskRef::new(phase_idx + 1, ti));
+                    if t.components <= faas.config().burst_capacity {
+                        return None;
+                    }
                     let key = t
                         .profile
                         .code_family
                         .clone()
                         .unwrap_or_else(|| t.name.clone());
-                    (key, t.components.min(d.cfg.prewarm_cap))
+                    Some((faas.clone(), key, t.components.min(d.cfg.prewarm_cap)))
                 })
                 .collect()
         }
     };
-    let faas = driver.borrow().env_handles.faas.clone();
-    for (key, count) in to_warm {
+    for (faas, key, count) in to_warm {
         faas.prewarm(sim, key, count);
     }
 }
@@ -340,7 +491,7 @@ pub(crate) fn input_requests(w: &Workflow, r: TaskRef) -> u64 {
 }
 
 fn spawn_serverless(sim: &mut Simulation, driver: &Shared<Driver>, r: TaskRef) {
-    let (spec, handles) = {
+    let (spec, handles, faas) = {
         let d = driver.borrow();
         let w = &d.workflow;
         let t = w.task(r);
@@ -372,7 +523,7 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Shared<Driver>, r: TaskRef) {
             memory_gb: t.profile.memory_gb,
             checkpoint_margin_secs: d.cfg.margin_for(t.profile.checkpoint_bytes),
         };
-        (spec, d.env_handles.clone())
+        (spec, d.env_handles.clone(), d.faas_for_task(r).clone())
     };
     let driver2 = driver.clone();
     let task_name = driver.borrow().workflow.task(r).name.clone();
@@ -392,7 +543,6 @@ fn spawn_serverless(sim: &mut Simulation, driver: &Shared<Driver>, r: TaskRef) {
             );
         }
     }
-    let faas = handles.faas.clone();
     let store = handles.store.clone();
     let seeds = handles.seeds;
     mashup_cloud::run_task_on_faas(sim, &faas, &store, spec, &seeds, move |sim, stats| {
@@ -684,6 +834,67 @@ mod tests {
         let locs = output_locations(&w, &hybrid);
         assert_eq!(locs[0][0], OutputLocation::Store);
         assert_eq!(locs[1][0], OutputLocation::Store);
+    }
+
+    #[test]
+    fn base_sizing_reproduces_the_unsized_run_bit_for_bit() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let cfg = cfg(4);
+        let plain = execute(&cfg, &w, &plan, "s");
+        let sized = execute_sized(&cfg, &w, &plan, &crate::Sizing::base(&cfg, &w), "s");
+        assert_eq!(plain, sized);
+    }
+
+    #[test]
+    fn bigger_tier_speeds_compute_and_raises_the_rate() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let cfg = cfg(4);
+        let base = execute(&cfg, &w, &plan, "s");
+        let big = execute_sized(&cfg, &w, &plan, &crate::Sizing::uniform(&w, 8.0), "s");
+        // sqrt(8/3) faster cores shrink every component's compute time.
+        assert!(big.task("wide").unwrap().compute_secs < base.task("wide").unwrap().compute_secs);
+        let small = execute_sized(&cfg, &w, &plan, &crate::Sizing::uniform(&w, 0.5), "s");
+        assert!(small.task("wide").unwrap().compute_secs > base.task("wide").unwrap().compute_secs);
+        // The 0.5 GB tier bills at a sixth of the base rate; even with the
+        // slower cores (sqrt(6) longer busy time) it comes out cheaper here.
+        assert!(small.expense.faas_dollars < base.expense.faas_dollars);
+    }
+
+    #[test]
+    fn mixed_sizing_runs_each_task_on_its_own_tier() {
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let cfg = cfg(4);
+        let flat_wide = w.arena().flat_by_name("wide").expect("exists");
+        let mut sizing = crate::Sizing::base(&cfg, &w);
+        sizing.tiers_gb[flat_wide] = 8.0;
+        let mixed = execute_sized(&cfg, &w, &plan, &sizing, "s");
+        let base = execute(&cfg, &w, &plan, "s");
+        // The resized task sped up; the base-tier task is untouched (its
+        // platform, pools, and seed streams are the unsized ones).
+        assert!(mixed.task("wide").unwrap().compute_secs < base.task("wide").unwrap().compute_secs);
+        assert_eq!(
+            mixed.task("merge").unwrap().compute_secs,
+            base.task("merge").unwrap().compute_secs
+        );
+    }
+
+    #[test]
+    fn sized_preflight_enforces_the_per_task_tier_cap() {
+        let mut w = two_phase_workflow();
+        w.phases[0].tasks[0].profile.memory_gb = 1.5;
+        let w = Workflow::new("test-wf", w.phases.clone(), w.initial_input_bytes);
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        let cfg = cfg(4);
+        // 1.5 GiB fits the 2 GB tier but not the 1 GB tier.
+        let err =
+            try_execute_sized(&cfg, &w, &plan, &crate::Sizing::uniform(&w, 1.0), "s").unwrap_err();
+        assert!(err
+            .errors()
+            .all(|d| d.code == mashup_analyze::Code::FaasMemoryExceeded));
+        assert!(try_execute_sized(&cfg, &w, &plan, &crate::Sizing::uniform(&w, 2.0), "s").is_ok());
     }
 
     #[test]

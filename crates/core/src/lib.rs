@@ -31,6 +31,7 @@ mod engine;
 mod exec;
 mod fingerprint;
 mod naive;
+pub mod pareto;
 mod pdc;
 mod placement;
 mod report;
@@ -40,10 +41,11 @@ pub use analysis::{engine_params, preflight};
 pub use cache::{
     CacheStats, PhaseProfileEntry, PlanCache, ProbeEntry, SectionStats, VmProfileEntry,
 };
-pub use config::{CloudEnv, MashupConfig};
+pub use config::{CloudEnv, MashupConfig, Sizing, MEMORY_TIERS_GB};
 pub use engine::{Mashup, MashupOutcome};
 pub use exec::{
-    execute, execute_in, execute_traced, try_execute, try_execute_in, try_execute_traced,
+    execute, execute_in, execute_sized, execute_traced, try_execute, try_execute_in,
+    try_execute_sized, try_execute_sized_traced, try_execute_traced,
 };
 pub use fingerprint::{Fingerprint, Fingerprinter};
 pub use mashup_analyze::{AnalysisError, Code, Diagnostic, Location, Severity};

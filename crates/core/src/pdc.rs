@@ -16,8 +16,14 @@
 //! Decision rules layered on the Eq. 3 argmin:
 //! * a conservative 2 s cold-start penalty is always added to serverless
 //!   estimates;
-//! * tasks whose memory footprint exceeds the function cap are forced to
-//!   the cluster;
+//! * tasks whose memory footprint exceeds their function size are forced to
+//!   the cluster. The function size is **per task**: by default every task
+//!   uses the provider's base function (the paper's single 3 GB
+//!   configuration), but a [`Sizing`](crate::Sizing) attached via
+//!   [`Pdc::with_sizing`] assigns each task its own memory tier
+//!   ([`crate::MEMORY_TIERS_GB`]), and the memory rule, the short-task
+//!   threshold (tier core speed), the probe environment, and the expense
+//!   argmin (tier price) all evaluate against that task's tier;
 //! * very short tasks (< 1 s per component) are forced to the cluster —
 //!   unless they are highly concurrent *and* frequently re-appearing, the
 //!   paper's warm-pool exception;
@@ -25,18 +31,20 @@
 //!   the Fig. 5 study.
 
 use crate::cache::{PhaseProfileEntry, PlanCache, ProbeEntry, VmProfileEntry};
-use crate::config::{CloudEnv, MashupConfig};
+use crate::config::{tier_key, CloudEnv, MashupConfig, Sizing};
 use crate::exec::execute_in;
 use crate::fingerprint::{Fingerprint, Fingerprinter};
 use crate::placement::{PlacementPlan, Platform};
 use mashup_cloud::{
-    run_task_on_faas, ClusterInput, ClusterOutput, ClusterTaskSpec, Expense, FaasRunStats,
-    FaasTaskSpec,
+    run_task_on_faas, ClusterInput, ClusterOutput, ClusterTaskSpec, Expense, FaasConfig,
+    FaasRunStats, FaasTaskSpec,
 };
-use mashup_dag::{Task, TaskRef, Workflow};
+use mashup_dag::{Phase, Task, TaskRef, Workflow};
 use mashup_sim::{shared, SimTime, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What the optimizer minimizes (Fig. 5 ablation; the paper's default is
@@ -128,6 +136,7 @@ pub struct Pdc {
     cache: Option<Arc<PlanCache>>,
     tracer: Tracer,
     probe_sharing: bool,
+    sizing: Option<Sizing>,
 }
 
 impl Pdc {
@@ -139,6 +148,7 @@ impl Pdc {
             cache: None,
             tracer: Tracer::off(),
             probe_sharing: false,
+            sizing: None,
         }
     }
 
@@ -186,6 +196,43 @@ impl Pdc {
     pub fn with_probe_sharing(mut self, enabled: bool) -> Self {
         self.probe_sharing = enabled;
         self
+    }
+
+    /// Builder-style: assigns each task its own serverless memory tier
+    /// (flat-id indexed, so the sizing must be built for the same workflow
+    /// the PDC decides). Without a sizing — or with [`Sizing::base`] —
+    /// every task uses the provider's base function size and decisions are
+    /// bit-identical to prior releases. Tier probes are cached under keys
+    /// that fingerprint the tier's FaaS behaviour, so a candidate sweep
+    /// over sizings pays one probe per (task, tier), not per candidate.
+    pub fn with_sizing(mut self, sizing: Sizing) -> Self {
+        self.sizing = Some(sizing);
+        self
+    }
+
+    /// The FaaS configuration task `r` executes under: its sizing tier's
+    /// derived config when a sizing is attached, otherwise the provider's
+    /// base function (borrowed — the unsized path allocates nothing).
+    fn task_faas_cfg(&self, workflow: &Workflow, r: TaskRef) -> Cow<'_, FaasConfig> {
+        match &self.sizing {
+            None => Cow::Borrowed(&self.cfg.provider.faas),
+            Some(s) => {
+                let flat = workflow.arena().flat(r).expect("task ref in workflow");
+                Cow::Owned(self.cfg.faas_tier(s.tier(flat)))
+            }
+        }
+    }
+
+    /// Whether task `r` sits at the provider's base function size (always
+    /// true without a sizing).
+    fn at_base_tier(&self, workflow: &Workflow, r: TaskRef) -> bool {
+        match &self.sizing {
+            None => true,
+            Some(s) => {
+                let flat = workflow.arena().flat(r).expect("task ref in workflow");
+                tier_key(s.tier(flat)) == tier_key(self.cfg.provider.faas.memory_gb)
+            }
+        }
     }
 
     /// The shared identity a probe is keyed, labelled, and seeded by — the
@@ -294,9 +341,10 @@ impl Pdc {
         factors: &ModelFactors,
     ) -> TaskDecision {
         let t = workflow.task(r);
-        let faas_cfg = &self.cfg.provider.faas;
+        let faas_cfg = self.task_faas_cfg(workflow, r);
 
-        // Memory rule: oversized components can never run serverless.
+        // Memory rule: components oversized for their function tier can
+        // never run serverless.
         if t.profile.memory_gb > faas_cfg.memory_gb {
             return TaskDecision {
                 task: r,
@@ -317,15 +365,15 @@ impl Pdc {
         let probe = match &self.cache {
             Some(c) => {
                 let computed = Cell::new(false);
-                let p = c.probe(self.probe_key(r, t), || {
+                let p = c.probe(self.probe_key(r, t, &faas_cfg), || {
                     computed.set(true);
-                    self.run_probe(workflow, r)
+                    self.run_probe(workflow, r, &faas_cfg)
                 });
                 let ident = self.probe_identity(t).unwrap_or(&t.name);
                 self.trace_cache(&format!("probe:{ident}"), computed.get());
                 p
             }
-            None => self.run_probe(workflow, r),
+            None => self.run_probe(workflow, r, &faas_cfg),
         };
         let (probe_secs, probe_busy_secs) = (probe.probe_secs, probe.probe_busy_secs);
 
@@ -359,7 +407,14 @@ impl Pdc {
             self.cfg.conservative_cold_start_secs,
         );
 
-        let platform = self.choose(factors, t_vm, est, t.components, probe_busy_secs);
+        let platform = self.choose(
+            factors,
+            t_vm,
+            est,
+            t.components,
+            probe_busy_secs,
+            faas_cfg.price_per_hour,
+        );
         TaskDecision {
             task: r,
             name: t.name.clone(),
@@ -521,6 +576,140 @@ impl Pdc {
         (report, stats)
     }
 
+    /// Incrementally plans `workflow` — a *structural rewrite* of `base`
+    /// (e.g. a fusion candidate: phases merged or dropped, tasks renamed) —
+    /// reusing `prev`, the report a `decide` produced for `base`.
+    ///
+    /// Where [`replan`](Pdc::replan) requires the phase shape to be
+    /// unchanged, this method aligns phases **by content**: each new phase
+    /// is matched against the base workflow's phases by a digest of its
+    /// task content (names, components, profiles, initial-ingest flags —
+    /// the same content the scoped phase profiler keys by, and for the same
+    /// reason: scoped VM times are start-time-translation invariant, so a
+    /// content-identical phase keeps its measured times wherever the
+    /// rewrite moved it). Matched tasks at the base function tier reuse
+    /// their previous decisions verbatim (boundary taxes stripped, refs
+    /// rebased); matched tasks assigned a non-base tier re-run the decision
+    /// rules against their tier using the previous VM measurement (the VM
+    /// side is sizing-independent), paying only a per-(task, tier)-cached
+    /// probe; unmatched phases — the ones a fusion actually changed — are
+    /// re-profiled through the memoized scoped phase profiler.
+    ///
+    /// This is the evaluation core of the Pareto candidate sweep
+    /// (`crate::pareto`): a sizing-only candidate re-probes nothing on a
+    /// warm cache, and a fusion candidate re-profiles exactly its fused
+    /// phases. Falls back to a full [`decide`](Pdc::decide) when `prev`
+    /// does not cover `base`.
+    pub fn replan_structural(
+        &self,
+        base: &Workflow,
+        prev: &PdcReport,
+        workflow: &Workflow,
+    ) -> (PdcReport, ReplanStats) {
+        // Flat offset of each base phase's first decision in `prev`.
+        let mut base_starts = Vec::with_capacity(base.phases.len());
+        let mut acc = 0usize;
+        for p in &base.phases {
+            base_starts.push(acc);
+            acc += p.tasks.len();
+        }
+        if prev.decisions.len() != acc {
+            let report = self.decide(workflow);
+            let stats = ReplanStats {
+                dirty_phases: workflow.phases.len(),
+                reused_decisions: 0,
+                replanned_tasks: report.decisions.len(),
+                full_replan: true,
+            };
+            return (report, stats);
+        }
+        // Content index over the base phases (first occurrence wins; phase
+        // content digests collide only for phases the profiler cannot tell
+        // apart anyway). A match additionally requires equal task counts,
+        // which the digest's length prefix already enforces.
+        let mut by_content: BTreeMap<u128, usize> = BTreeMap::new();
+        for (pi, p) in base.phases.iter().enumerate() {
+            by_content.entry(phase_content_digest(p)).or_insert(pi);
+        }
+
+        let factors = self.calibrated_factors();
+        let mut profiling_expense = prev.profiling_expense;
+        let mut decisions = Vec::with_capacity(workflow.task_count());
+        let mut plan = PlacementPlan::new();
+        let mut stats = ReplanStats {
+            dirty_phases: 0,
+            reused_decisions: 0,
+            replanned_tasks: 0,
+            full_replan: false,
+        };
+        for (pi, np) in workflow.phases.iter().enumerate() {
+            match by_content.get(&phase_content_digest(np)).copied() {
+                Some(bpi) => {
+                    let start = base_starts[bpi];
+                    for ti in 0..np.tasks.len() {
+                        let r = TaskRef::new(pi, ti);
+                        let prev_d = &prev.decisions[start + ti];
+                        let d = if self.at_base_tier(workflow, r) {
+                            let mut d = prev_d.clone();
+                            d.task = r;
+                            // Boundary taxes are plan-level: strip any flip
+                            // the old refinement applied so the global
+                            // refinement below re-derives it.
+                            if d.forced_vm_reason
+                                .as_deref()
+                                .is_some_and(|s| s.starts_with("hybrid boundary tax"))
+                            {
+                                d.forced_vm_reason = None;
+                                d.platform = Platform::Serverless;
+                            }
+                            stats.reused_decisions += 1;
+                            d
+                        } else {
+                            stats.replanned_tasks += 1;
+                            self.decide_task(workflow, r, prev_d.t_vm_secs, &factors)
+                        };
+                        plan.set(r, d.platform);
+                        decisions.push(d);
+                    }
+                }
+                None => {
+                    stats.dirty_phases += 1;
+                    let profile = self.phase_profile(workflow, pi);
+                    add_expense(&mut profiling_expense, &profile.expense);
+                    for ti in 0..np.tasks.len() {
+                        let r = TaskRef::new(pi, ti);
+                        let d = self.decide_task(workflow, r, profile.task_secs[ti], &factors);
+                        plan.set(r, d.platform);
+                        decisions.push(d);
+                    }
+                    stats.replanned_tasks += np.tasks.len();
+                }
+            }
+        }
+
+        if self.objective == Objective::ExecutionTime {
+            refine_boundary_taxes(
+                workflow,
+                &mut decisions,
+                &mut plan,
+                self.cfg.cluster.instance.wan_bps,
+                self.cfg.cluster.instance.master_nic_bps,
+            );
+        }
+
+        self.trace_decisions(&decisions);
+
+        let report = PdcReport {
+            factors,
+            decisions,
+            plan,
+            profiling_expense,
+            profiling_vm_makespan_secs: prev.profiling_vm_makespan_secs,
+            subclusters: prev.subclusters,
+        };
+        (report, stats)
+    }
+
     /// Runs the full VM profiling passes, one per candidate sub-cluster
     /// split (seed-offset so profiling does not share jitter draws with
     /// production runs) — the PDC keeps the best VM configuration as the
@@ -605,8 +794,10 @@ impl Pdc {
     /// keys warm pools); with [probe sharing](Pdc::with_probe_sharing) it
     /// is the code family alone, phase-independent, so every task of a
     /// family shares one probe. The cluster is deliberately absent, so
-    /// node-count sweeps reuse every probe.
-    fn probe_key(&self, r: TaskRef, t: &Task) -> u128 {
+    /// node-count sweeps reuse every probe. `faas_cfg` is the task's tier
+    /// config (fingerprinted, so each memory tier keys its own probe —
+    /// which is what lets a sizing sweep share probes across candidates).
+    fn probe_key(&self, r: TaskRef, t: &Task, faas_cfg: &FaasConfig) -> u128 {
         let mut f = Fingerprinter::new("pdc-probe-v1");
         f.write_u64(self.cfg.seed);
         match self.probe_identity(t) {
@@ -621,13 +812,14 @@ impl Pdc {
             }
         }
         t.profile.fingerprint(&mut f);
-        self.cfg.provider.faas.fingerprint(&mut f);
+        faas_cfg.fingerprint(&mut f);
         self.cfg.provider.storage.fingerprint(&mut f);
         f.write_f64(self.cfg.margin_for(t.profile.checkpoint_bytes));
         f.digest()
     }
 
-    /// Applies the objective to pick a platform.
+    /// Applies the objective to pick a platform. `price_fn` is the task's
+    /// function tier's hourly price (the base price when unsized).
     fn choose(
         &self,
         factors: &ModelFactors,
@@ -635,9 +827,9 @@ impl Pdc {
         t_sl_est: f64,
         components: usize,
         probe_busy_secs: f64,
+        price_fn: f64,
     ) -> Platform {
         let price_vm = self.cfg.cluster.instance.price_per_hour;
-        let price_fn = self.cfg.provider.faas.price_per_hour;
         // Marginal expense reasoning: the cluster bills for the whole
         // run, so moving a task to serverless only saves money when the
         // node time it frees (makespan reduction × cluster size) is worth
@@ -661,9 +853,10 @@ impl Pdc {
     }
 
     /// Runs one component of task `r` in a serverless function (its own
-    /// fresh environment). Checkpoint chains for over-cap tasks are
-    /// included, so the probe already prices the time-cap workaround.
-    fn run_probe(&self, workflow: &Workflow, r: TaskRef) -> ProbeEntry {
+    /// fresh environment, on the task's function tier). Checkpoint chains
+    /// for over-cap tasks are included, so the probe already prices the
+    /// time-cap workaround.
+    fn run_probe(&self, workflow: &Workflow, r: TaskRef, faas_cfg: &FaasConfig) -> ProbeEntry {
         let t = workflow.task(r);
         // A shared probe stands in for its family wherever its tasks sit,
         // so it uses a fixed seed offset; per-task probes keep their
@@ -675,7 +868,18 @@ impl Pdc {
                 format!("probe:{}", t.name),
             ),
         };
-        let mut env = CloudEnv::with_seed_offset(&self.cfg, offset);
+        // Non-base tiers probe on a platform built from the tier config;
+        // the base tier keeps the exact environment of prior releases.
+        let tuned;
+        let cfg = if *faas_cfg == self.cfg.provider.faas {
+            &self.cfg
+        } else {
+            let mut c = self.cfg.clone();
+            c.provider.faas = faas_cfg.clone();
+            tuned = c;
+            &tuned
+        };
+        let mut env = CloudEnv::with_seed_offset(cfg, offset);
         env.store
             .register_object(env.sim.now(), "probe-input", t.profile.input_bytes);
         let spec = FaasTaskSpec {
@@ -802,6 +1006,23 @@ impl Pdc {
 /// wiring) — the unit of phase dirtiness in [`Pdc::replan`].
 fn task_digest(t: &Task) -> u128 {
     t.fingerprint_digest("pdc-replan-task-v1")
+}
+
+/// Content digest of one phase as the VM profiler can observe it — the
+/// phase-alignment key of [`Pdc::replan_structural`]. Deliberately matches
+/// the scoped phase profiler's key material (names, components, profiles,
+/// initial-ingest flags; exact dependency refs excluded) so "matches" means
+/// "would profile identically".
+fn phase_content_digest(phase: &Phase) -> u128 {
+    let mut f = Fingerprinter::new("pdc-structural-phase-v1");
+    f.write_usize(phase.tasks.len());
+    for t in &phase.tasks {
+        f.write_str(&t.name);
+        f.write_usize(t.components);
+        t.profile.fingerprint(&mut f);
+        f.write_bool(t.deps.is_empty());
+    }
+    f.digest()
 }
 
 /// Schedules `spec` on `env`'s FaaS platform, runs the simulation to

@@ -17,6 +17,7 @@
 
 use crate::pattern::DependencyPattern;
 use crate::workflow::{TaskRef, Workflow};
+// Keyed name lookups only, never iterated; lint: allow(hash-collections)
 use std::collections::HashMap;
 
 /// An interned task-name symbol. Two tasks share a symbol iff their names
@@ -48,7 +49,8 @@ pub struct TaskArena {
     components: Vec<u32>,
     /// Interned name table, indexed by `Symbol`.
     names: Vec<String>,
-    /// Name → (symbol, flat id of first occurrence).
+    /// Name → (symbol, flat id of first occurrence). Lookup-only (never
+    /// iterated); lint: allow(hash-collections)
     by_name: HashMap<String, (Symbol, u32)>,
     /// Consumer CSR: per-producer slice bounds into `cons_entries`.
     cons_offsets: Vec<u32>,
@@ -80,6 +82,7 @@ impl TaskArena {
         let mut symbols = Vec::with_capacity(n);
         let mut components = Vec::with_capacity(n);
         let mut names: Vec<String> = Vec::new();
+        // Lookup-only; lint: allow(hash-collections)
         let mut by_name: HashMap<String, (Symbol, u32)> = HashMap::with_capacity(n);
         let mut n_edges = 0usize;
         for (pi, phase) in w.phases.iter().enumerate() {

@@ -2,6 +2,7 @@
 
 use crate::pattern::DependencyPattern;
 use crate::workflow::{Phase, Task, TaskDep, TaskRef, Workflow};
+// Membership tests only, never iterated; lint: allow(hash-collections)
 use std::collections::HashSet;
 use std::fmt;
 
@@ -91,6 +92,7 @@ pub fn validate(w: &Workflow) -> Result<(), ValidationError> {
     if w.phases.is_empty() {
         return Err(ValidationError::EmptyWorkflow);
     }
+    // Duplicate detection via membership only; lint: allow(hash-collections)
     let mut names = HashSet::new();
     for (pi, phase) in w.phases.iter().enumerate() {
         if phase.tasks.is_empty() {

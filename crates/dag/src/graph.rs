@@ -9,6 +9,7 @@
 use crate::builder::{validate, ValidationError};
 use crate::pattern::DependencyPattern;
 use crate::workflow::{Phase, Task, TaskDep, TaskRef, Workflow};
+// Keyed name lookups only, never iterated; lint: allow(hash-collections)
 use std::collections::HashMap;
 
 /// An edge in a raw task graph, named by task names.
@@ -74,6 +75,7 @@ pub fn from_task_graph(
     let n = tasks.len();
     // Borrow-keyed name index: no String clones. Later entries shadow
     // earlier duplicates (validation rejects duplicates afterwards).
+    // Lookup-only; lint: allow(hash-collections)
     let mut index: HashMap<&str, usize> = HashMap::with_capacity(n);
     for (i, t) in tasks.iter().enumerate() {
         index.insert(t.name.as_str(), i);

@@ -22,6 +22,7 @@
 mod arena;
 mod builder;
 mod dot;
+mod fusion;
 mod graph;
 mod pattern;
 mod placement;
@@ -31,6 +32,7 @@ mod workflow;
 pub use arena::{Symbol, TaskArena};
 pub use builder::{validate, ValidationError, WorkflowBuilder};
 pub use dot::to_dot;
+pub use fusion::{fusable_pairs, fuse, FusionCandidate, FusionError};
 pub use graph::{from_task_graph, GraphError, RawEdge};
 pub use pattern::DependencyPattern;
 pub use placement::{PlacementPlan, Platform, UnassignedTask};

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod loadtest;
+pub mod pareto;
 pub mod pool;
 pub mod service;
 
@@ -29,6 +30,7 @@ pub use loadtest::{
     percentile, request_mix, run_point, run_scaling, run_sweep, LoadPoint, LoadTestReport,
     LoadTestSpec, ScalingPoint, MIX_PERIOD,
 };
+pub use pareto::{pareto_sweep, pareto_sweep_with, FrontPoint, SweepOutcome, SweepStats};
 pub use pool::{jobs, par_map, set_jobs};
 pub use service::{
     FairQueue, PlanRequest, PlanService, Rejection, ReplyStatus, RequestKind, ServeReply,

@@ -21,6 +21,8 @@ use crate::service::{
 };
 use serde::Serialize;
 use std::sync::Mutex;
+// The load-test harness measures real service latency by design — its
+// output is observability, not simulated results; lint: allow(wall-clock)
 use std::time::Instant;
 
 /// One sweep point's knobs.
@@ -170,7 +172,7 @@ pub fn run_point(spec: &LoadTestSpec) -> LoadPoint {
     let refused = std::sync::atomic::AtomicUsize::new(0);
     let rejected = std::sync::atomic::AtomicUsize::new(0);
 
-    let started = Instant::now();
+    let started = Instant::now(); // lint: allow(wall-clock)
     std::thread::scope(|scope| {
         for client in 0..parallelism {
             let service = &service;
@@ -182,7 +184,7 @@ pub fn run_point(spec: &LoadTestSpec) -> LoadPoint {
                 // Client c owns request indices c, c+P, c+2P, ...
                 let mut i = client;
                 while i < spec.requests {
-                    let t0 = Instant::now();
+                    let t0 = Instant::now(); // lint: allow(wall-clock)
                     match service.submit(request_mix(i)) {
                         Ok(ticket) => {
                             let reply = ticket.wait();

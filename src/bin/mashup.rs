@@ -8,6 +8,7 @@
 //! mashup run      <workflow...>   [--nodes N] [--strategy mashup|wo-pdc|traditional|serverless|pegasus|kepler]
 //! mashup compare  <workflow...>   [--nodes N]
 //! mashup trace    <workflow...>   [--nodes N] [--strategy S] [--format jsonl|chrome] [--out FILE] [--verbose] [--check]
+//! mashup pareto   <workflow...>   [--nodes N] [--budget N] [--jobs N] [--out FILE]
 //! mashup serve    [--workers N] [--queue-depth N]
 //! mashup load-test [--requests N,N,...] [--parallelism N] [--workers N] [--no-scaling] [--out FILE] [--csv FILE]
 //! ```
@@ -301,9 +302,113 @@ fn main() {
                 improvement_pct(mashup.expense.total(), traditional.expense.total())
             );
         }
+        "pareto" => run_pareto(argv),
         "serve" => run_serve(argv),
         "load-test" => run_load_test(argv),
         other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+/// `mashup pareto`: search the fusion × right-sizing plan space and print
+/// the time/expense Pareto front (see `mashup-serve`'s `pareto` module).
+fn run_pareto(mut argv: std::env::Args) {
+    let spec = argv.next().unwrap_or_else(|| die("missing workflow"));
+    let mut nodes = 8usize;
+    let mut budget = 200usize;
+    let mut out: Option<String> = None;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                nodes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--nodes needs a positive integer"));
+            }
+            "--budget" => {
+                budget = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&b| b >= 1)
+                    .unwrap_or_else(|| die("--budget needs a positive integer"));
+            }
+            "--jobs" => {
+                let jobs = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                mashup::serve::set_jobs(jobs);
+            }
+            "--out" => out = Some(argv.next().unwrap_or_else(|| die("--out needs a path"))),
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    let w = load_workflow(&spec);
+    let cfg = MashupConfig::aws(nodes);
+    let started = std::time::Instant::now();
+    let outcome = mashup::serve::pareto_sweep(&cfg, &w, budget);
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "Pareto front for '{}' on {nodes} nodes (budget {budget} candidates):",
+        w.name
+    );
+    println!("{:<44} {:>10} {:>11}", "candidate", "makespan", "expense");
+    for p in &outcome.front {
+        println!(
+            "{:<44} {:>9.1}s  ${:<10.4}",
+            p.label, p.makespan_secs, p.expense_dollars
+        );
+    }
+    let s = &outcome.stats;
+    eprintln!(
+        "[pareto] {} generated, {} deduped, {} pruned, {} evaluated, {} coalesced, \
+         {} executed in {wall:.2}s ({:.1} candidates/s)",
+        s.generated,
+        s.deduped,
+        s.pruned,
+        s.evaluated,
+        s.coalesced,
+        s.executed,
+        s.evaluated as f64 / wall.max(1e-9),
+    );
+    let c = &s.cache;
+    eprintln!(
+        "[plan-cache] calibration {}h/{}m  vm-profile {}h/{}m  probes {}h/{}m  \
+         phase-profiles {}h/{}m  ({} entries, {:.1}% hits overall)",
+        c.calibration.hits,
+        c.calibration.misses,
+        c.vm_profile.hits,
+        c.vm_profile.misses,
+        c.probes.hits,
+        c.probes.misses,
+        c.phase_profiles.hits,
+        c.phase_profiles.misses,
+        c.entries(),
+        if c.hits() + c.misses() == 0 {
+            0.0
+        } else {
+            c.hits() as f64 * 100.0 / (c.hits() + c.misses()) as f64
+        },
+    );
+    if let Some(path) = &out {
+        // Drop the cache section from the artifact: its miss-side
+        // compute_secs are wall-clock timings, so keeping them would make
+        // the file vary across worker counts. The front and every search
+        // counter are deterministic; cache telemetry lives on stderr.
+        let mut value = serde::Serialize::to_value(&outcome);
+        if let serde::Value::Object(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "stats" {
+                    if let serde::Value::Object(stats) = v {
+                        stats.retain(|(k, _)| k != "cache");
+                    }
+                }
+            }
+        }
+        let body = serde_json::to_string_pretty(&value)
+            .unwrap_or_else(|e| die(&format!("serialize: {e}")));
+        std::fs::write(path, body + "\n")
+            .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
+        eprintln!("wrote JSON front to {path}");
     }
 }
 

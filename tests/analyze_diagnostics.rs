@@ -70,9 +70,12 @@ fn all_fixture_diags() -> Vec<(&'static str, Vec<Diagnostic>)> {
         serde_json::from_str(&fixture("bad_config.json")).expect("parse bad_config");
     let scale_workflow: Workflow =
         serde_json::from_str(&fixture("scale_workflow.json")).expect("parse scale_workflow");
+    let fusion_chain: Workflow = serde_json::from_str(&fixture("fusion_chain_workflow.json"))
+        .expect("parse fusion_chain_workflow");
     vec![
         ("bad_workflow", analyze_workflow(&bad_workflow)),
         ("scale_workflow", analyze_workflow(&scale_workflow)),
+        ("fusion_chain_workflow", analyze_workflow(&fusion_chain)),
         (
             "bad_plan",
             analyze_plan(&plan_workflow, &bad_plan, &plan_ctx(&cfg)),

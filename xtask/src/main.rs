@@ -1,7 +1,10 @@
 //! `cargo xtask` — workspace development tasks.
 //!
 //! The only task so far is `lint`, a determinism pass over the
-//! simulation-facing crates (`crates/sim`, `crates/cloud`, `crates/core`).
+//! simulation-facing crates (`crates/sim`, `crates/cloud`, `crates/core`,
+//! `crates/dag`, `crates/serve` — the last two cover the fusion rewriter
+//! and the Pareto candidate sweep, where enumeration order is part of the
+//! bit-identical-front guarantee).
 //! Simulated results must be a pure function of configuration + seed, so
 //! source constructs whose behaviour varies run-to-run are banned there:
 //!
@@ -83,7 +86,13 @@ const RULES: &[Rule] = &[
 ];
 
 /// The crates whose `src/` trees the determinism lint covers.
-const LINTED_DIRS: &[&str] = &["crates/sim/src", "crates/cloud/src", "crates/core/src"];
+const LINTED_DIRS: &[&str] = &[
+    "crates/sim/src",
+    "crates/cloud/src",
+    "crates/core/src",
+    "crates/dag/src",
+    "crates/serve/src",
+];
 
 /// A single flagged line.
 #[derive(Debug, PartialEq)]
@@ -296,7 +305,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("xtask-lint-negative-{}", std::process::id()));
         let sim_src = dir.join("crates/sim/src");
         std::fs::create_dir_all(&sim_src).expect("create temp tree");
-        for d in ["crates/cloud/src", "crates/core/src"] {
+        for d in [
+            "crates/cloud/src",
+            "crates/core/src",
+            "crates/dag/src",
+            "crates/serve/src",
+        ] {
             std::fs::create_dir_all(dir.join(d)).expect("create temp tree");
         }
         std::fs::write(
