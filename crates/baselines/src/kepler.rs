@@ -15,11 +15,15 @@ use mashup_core::{
 };
 use mashup_dag::{TaskRef, Workflow};
 use mashup_sim::{shared, Shared};
+// Keyed dependency counters only: inserted in deterministic task_refs
+// order, then read/decremented by key — never order-iterated.
+// lint: allow(hash-collections)
 use std::collections::HashMap;
 
 struct Driver {
     workflow: std::sync::Arc<Workflow>,
     /// Unfinished producer count per task.
+    /// Keyed access only; lint: allow(hash-collections)
     pending_deps: HashMap<TaskRef, usize>,
     reports: Vec<TaskReport>,
     remaining: usize,
@@ -46,6 +50,7 @@ pub fn run_kepler_traced(
     env.attach_tracer(tracer.clone());
     env.cluster.start_billing(env.sim.now());
 
+    // Keyed access only; lint: allow(hash-collections)
     let mut pending_deps = HashMap::new();
     for r in workflow.task_refs() {
         pending_deps.insert(r, workflow.task(r).deps.len());

@@ -4,6 +4,8 @@
 //! cargo run --release -p mashup-bench --bin pdc_debug -- SRAsearch 64
 //! ```
 
+// A debugging CLI: stdout is its entire user interface.
+// lint: allow-file(adhoc-telemetry)
 use mashup_core::{MashupConfig, Pdc};
 
 fn main() {

@@ -9,6 +9,11 @@
 //! result is discarded), matching how the checkpointing executor treats the
 //! platform cap as a hard budget.
 
+// Real cold-start sleeps and keep-alive expiry need the real clock, and
+// the warm-token map is keyed by code identity (never order-iterated).
+// lint: allow-file(wall-clock)
+// lint: allow-file(hash-collections)
+
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -5,6 +5,10 @@
 //! thread-pool "cluster" and the per-invocation "functions", exactly as the
 //! simulated executors exchange data through the simulated store.
 
+// A concurrent key->bytes map: strictly keyed gets/puts from live
+// threads, never order-iterated into results.
+// lint: allow-file(hash-collections)
+
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;

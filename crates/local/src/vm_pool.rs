@@ -5,6 +5,9 @@
 //! slots: submitting more jobs than workers serializes them in waves, just
 //! like the simulator's `Resource` admission.
 
+// Worker scheduling measures real elapsed time on real threads.
+// lint: allow-file(wall-clock)
+
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -258,6 +258,7 @@ mod tests {
     fn read_under_read_panics() {
         let cell = AtomicRefCell::new(7);
         let _r1 = cell.borrow();
+        // the panic under test is the overlap itself; lint: allow(borrow-overlap)
         let _r2 = cell.borrow();
     }
 
@@ -266,6 +267,7 @@ mod tests {
     fn write_under_read_panics() {
         let cell = AtomicRefCell::new(0);
         let _r = cell.borrow();
+        // the panic under test is the overlap itself; lint: allow(borrow-overlap)
         let _w = cell.borrow_mut();
     }
 
@@ -274,6 +276,7 @@ mod tests {
     fn read_under_write_panics() {
         let cell = AtomicRefCell::new(0);
         let _w = cell.borrow_mut();
+        // the panic under test is the overlap itself; lint: allow(borrow-overlap)
         let _r = cell.borrow();
     }
 
@@ -282,6 +285,7 @@ mod tests {
     fn double_write_panics() {
         let cell = AtomicRefCell::new(0);
         let _w1 = cell.borrow_mut();
+        // the panic under test is the overlap itself; lint: allow(borrow-overlap)
         let _w2 = cell.borrow_mut();
     }
 

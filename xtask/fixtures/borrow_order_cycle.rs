@@ -1,0 +1,17 @@
+// expect: borrow-order
+//! Seeded corruption: two cells nested in opposite orders in different
+//! functions. Under concurrent contention (the planning service's worker
+//! threads) the interleaving panics at the inner borrow. Each nesting is
+//! fine alone — only the crate-level union exposes the cycle.
+
+pub fn charge(&self) {
+    let cache = self.cache.borrow_mut();
+    let depth = self.queue.borrow().len();
+    cache.reserve(depth);
+}
+
+pub fn drain(&self) {
+    let queue = self.queue.borrow_mut();
+    let live = self.cache.borrow().live();
+    queue.retain(|t| live.contains(t));
+}

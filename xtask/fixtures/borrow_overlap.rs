@@ -1,0 +1,14 @@
+// expect: borrow-overlap
+//! Seeded corruption: two live guards on one `Shared` cell. The second
+//! borrow panics at runtime ("already mutably borrowed") — the lint must
+//! catch it statically. Fixtures are analyzed, never compiled.
+
+pub fn double_read(w: &World) -> u32 {
+    let first = w.state.borrow_mut();
+    let second = w.state.borrow();
+    first.total + second.total
+}
+
+pub fn chained_in_one_statement(w: &World) -> u32 {
+    w.state.borrow().lo + w.state.borrow().hi
+}

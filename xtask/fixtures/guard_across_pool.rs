@@ -1,0 +1,9 @@
+// expect: guard-across-pool
+//! Seeded corruption: a guard held across a worker-pool call. Every
+//! worker that touches the same cell races the held borrow and panics at
+//! first contention.
+
+pub fn fan_out(w: &World, items: Vec<Task>) -> Vec<Done> {
+    let plan = w.plan.borrow();
+    par_map(items, move |t| run(plan.step(t)))
+}

@@ -1,0 +1,56 @@
+// expect: clean
+//! The blessed shapes: momentary guards one statement at a time,
+//! block-scoped guards released before the next borrow, explicit drop,
+//! independent match arms, and closures as separate contexts. None of
+//! these overlap at runtime, and the analyzer must stay silent.
+
+pub fn momentary_sequence(c: &Shared<Plan>) -> usize {
+    c.borrow_mut().push(1);
+    c.borrow_mut().push(2);
+    let n = c.borrow().len();
+    n
+}
+
+pub fn block_scoped_then_reborrow(c: &Shared<Plan>) {
+    {
+        let mut g = c.borrow_mut();
+        g.push(1);
+    }
+    let snapshot = c.borrow().clone();
+    use_it(snapshot);
+}
+
+pub fn explicit_drop(c: &Shared<Plan>) {
+    let g = c.borrow_mut();
+    drop(g);
+    let again = c.borrow();
+    use_it(again.len());
+}
+
+pub fn arms_are_independent(c: &Shared<Plan>, k: Kind) -> u32 {
+    match k {
+        Kind::Read => c.borrow().total(),
+        Kind::Reset => c.borrow_mut().reset(),
+    }
+}
+
+pub fn condition_temps_die_before_the_body(c: &Shared<Plan>) {
+    if c.borrow().ready() {
+        c.borrow_mut().fire();
+    }
+    while c.borrow().pending() > 0 {
+        c.borrow_mut().step();
+    }
+}
+
+pub fn distinct_cells_in_one_consistent_order(w: &World) {
+    let links = w.links.borrow_mut();
+    let hot = w.state.borrow().hot();
+    links.mark(hot);
+}
+
+pub fn closures_run_later(c: &Shared<Plan>, sim: &mut Sim) {
+    let g = c.borrow();
+    sim.schedule(move |world| world.plan.borrow_mut().advance());
+    use_it(g.len());
+}

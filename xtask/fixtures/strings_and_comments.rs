@@ -1,0 +1,26 @@
+// expect: clean
+//! Regression fixture for the old substring matcher's false-positive
+//! class: rule patterns inside string literals, comments, doc prose, raw
+//! strings, and `#[doc = ".."]` attributes must never flag. Every line
+//! below mentions at least one banned construct — as text, not code.
+
+/// Uses a HashMap internally? No — but this doc line says HashMap and
+/// Instant::now, and once upon a time `println!("x")` needed an allow.
+pub fn prose_only() -> &'static str {
+    let plain = "HashMap Instant::now println! Rc::new( thread_rng";
+    let raw = r#"SystemTime::now " OsRng " dbg!"#;
+    let formatted = format!("{plain} HashSet rand::random {raw}");
+    /* block comment: eprintln!("warn") and from_entropy() are fine here,
+    even spanning lines with std::rc::Rc mentioned. */
+    let matcher = "strings_do_not_flag";
+    assert_ne!(formatted, matcher);
+    matcher
+}
+
+#[doc = "attribute doc text: HashMap, Instant::now, println! all inert"]
+pub struct ProseHolder {
+    pub note: &'static str,
+}
+
+// Identifiers that merely *contain* a pattern must not flag either.
+pub fn dbg_helper_for_printlnish_hashmaplike() {}

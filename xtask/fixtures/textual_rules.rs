@@ -1,0 +1,15 @@
+// expect: wall-clock, hash-collections, ambient-rng, adhoc-telemetry, no-rc
+//! Seeded corruption for all five determinism rules as real code (not
+//! prose): each construct below must flag.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+pub fn nondeterministic_soup() {
+    let t0 = std::time::Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(0, thread_rng().gen());
+    let shared = Rc::new(m);
+    println!("elapsed {:?} entries {}", t0.elapsed(), shared.len());
+    dbg!(&shared);
+}

@@ -1,0 +1,902 @@
+//! Borrow-graph analysis over `Shared<T>` (`Arc<AtomicRefCell<..>>`)
+//! guards.
+//!
+//! `AtomicRefCell` borrows are all-exclusive: a second live guard on the
+//! same cell — shared or mutable, same thread or not — panics at the
+//! borrow site. PR 6 established by hand audit that the engine never
+//! overlaps guards; this module mechanizes that audit as three rules over
+//! the token stream:
+//!
+//! * **borrow-overlap** — a `.borrow()` / `.borrow_mut()` on a cell while
+//!   another guard on the *same* cell (matched by its receiver path, e.g.
+//!   `self.state`) is still live in the enclosing lexical scopes. The
+//!   blessed fix is the momentary-guard idiom: one borrow per statement,
+//!   or an explicit `drop(guard)`.
+//! * **borrow-order** — per function, an edge `A -> B` is recorded when
+//!   cell `B` is borrowed while a guard on cell `A` is live (cells are
+//!   unified across functions by their final path component, e.g.
+//!   `self.state` and `platform.state` are both `state`). The edges are
+//!   unioned across each linted crate; a cycle means two call paths can
+//!   interleave on two cells in opposite orders and panic (or, with a
+//!   blocking cell, deadlock) at first contention.
+//! * **guard-across-pool** — a call into a worker-pool / thread API
+//!   (`par_map`, `spawn_workers`, `spawn`, `scope`, `scoped`) while any
+//!   guard is live. The guard's borrow then races every worker's first
+//!   borrow of that cell.
+//!
+//! The model is lexical and deliberately conservative in both directions
+//! (it is a linter, not a proof): distinct receiver paths are assumed to
+//! be distinct cells (aliases like `driver` / `driver2 = driver.clone()`
+//! are not unified), closure bodies are analyzed as separate functions
+//! (they usually run later — the pool rule covers the dangerous subset),
+//! and a guard returned out of a helper function is not tracked at the
+//! caller. Liveness follows Rust's scoping: `let g = cell.borrow();`
+//! lives to the end of its block (or an explicit `drop(g)`); any other
+//! borrow is a temporary that lives to the end of its statement; `match`
+//! scrutinee and `for`-iterator temporaries stay live across the body,
+//! while plain `if`/`while` condition temporaries do not; only one
+//! `match` arm runs, so arms are independent statements.
+
+use crate::lex::{AllowMark, Kind, Lexed, Token};
+use crate::rules::{is_allowed, source_line, Violation};
+use crate::scopes::{fn_body_open, functions, matching_brace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Thread-fanout APIs a live guard must not cross.
+const POOL_APIS: &[&str] = &["par_map", "spawn_workers", "spawn", "scope", "scoped"];
+
+/// One "guard on `from` was live while `to` was borrowed" observation.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: PathBuf,
+    pub line: u32,
+    pub text: String,
+}
+
+/// Per-file analysis output: direct violations (overlap, pool) plus the
+/// raw borrow-order edges for crate-level cycle detection.
+#[derive(Debug, Default)]
+pub struct FileBorrows {
+    pub violations: Vec<Violation>,
+    pub edges: Vec<Edge>,
+}
+
+/// A live borrow guard.
+#[derive(Debug)]
+struct Guard {
+    /// Full receiver path, e.g. `self.state` (unique placeholder for
+    /// unresolvable receivers).
+    cell: String,
+    /// Final path component for cross-function unification; empty when
+    /// the receiver could not be resolved.
+    last: String,
+    /// Binding name for `let g = cell.borrow();` guards (enables
+    /// `drop(g)` tracking). `None` for statement temporaries.
+    var: Option<String>,
+    line: u32,
+    /// Statement temporary (cleared at `;`) vs. block-scoped binding.
+    momentary: bool,
+    /// Block depth the guard was created at.
+    depth: usize,
+}
+
+struct Walker<'a> {
+    toks: &'a [Token],
+    file: &'a Path,
+    lines: &'a [&'a str],
+    allows: &'a [AllowMark],
+    out: &'a mut FileBorrows,
+    guards: Vec<Guard>,
+    /// One entry per open block: whether the block keeps the enclosing
+    /// statement's temporaries live (match body, `for` body, `if let` /
+    /// `while let` body).
+    matchlike: Vec<bool>,
+}
+
+fn tx(toks: &[Token], i: usize) -> &str {
+    toks.get(i).map_or("", |t| t.text.as_str())
+}
+
+fn is_ident(toks: &[Token], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == Kind::Ident)
+}
+
+impl<'a> Walker<'a> {
+    /// Whether guard `g` is live at the current point. Block-scoped
+    /// guards always are (until truncated); temporaries are visible only
+    /// through match-like block boundaries.
+    fn visible(&self, g: &Guard) -> bool {
+        !g.momentary || self.matchlike[g.depth..].iter().all(|&m| m)
+    }
+
+    fn live_guards(&self) -> impl Iterator<Item = &Guard> {
+        self.guards.iter().filter(|g| self.visible(g))
+    }
+
+    /// Registers a borrow of `cell` at `line`, checking overlap and
+    /// recording order edges against every live guard.
+    fn borrow_event(
+        &mut self,
+        cell: String,
+        last: String,
+        line: u32,
+        var: Option<String>,
+        momentary: bool,
+        depth: usize,
+    ) {
+        let known = !cell.starts_with('?');
+        if known {
+            let hit = self
+                .live_guards()
+                .find(|g| g.cell == cell)
+                .map(|g| (g.line, g.momentary));
+            if let Some((gline, gmut)) = hit {
+                if !is_allowed(self.allows, "borrow-overlap", line) {
+                    let kind = if gmut { "temporary guard" } else { "guard" };
+                    self.out.violations.push(Violation {
+                        file: self.file.to_path_buf(),
+                        line,
+                        rule: "borrow-overlap",
+                        message: format!(
+                            "`{cell}` is borrowed here while the {kind} taken on the same \
+                             cell at line {gline} is still live — AtomicRefCell borrows are \
+                             all-exclusive, so this panics at runtime; borrow momentarily \
+                             (one statement at a time) or drop() the first guard"
+                        ),
+                        text: source_line(self.lines, line),
+                    });
+                }
+            }
+        }
+        if !last.is_empty() && !is_allowed(self.allows, "borrow-order", line) {
+            let held: Vec<(String, u32)> = self
+                .live_guards()
+                .filter(|g| !g.last.is_empty() && g.last != last)
+                .map(|g| (g.last.clone(), g.line))
+                .collect();
+            for (from, _) in held {
+                self.out.edges.push(Edge {
+                    from,
+                    to: last.clone(),
+                    file: self.file.to_path_buf(),
+                    line,
+                    text: source_line(self.lines, line),
+                });
+            }
+        }
+        self.guards.push(Guard {
+            cell,
+            last,
+            var,
+            line,
+            momentary,
+            depth,
+        });
+    }
+
+    /// Parses the receiver path that ends at the `.` before a
+    /// `borrow`/`borrow_mut` token at `dot` (searching backwards).
+    /// Returns `(full_path, last_component)` or `None` for receivers the
+    /// token model cannot name (call results, parenthesized expressions).
+    fn path_backward(&self, dot: usize) -> Option<(String, String)> {
+        let t = self.toks;
+        let mut k = dot; // index just past the last path token, walking left
+        let mut parts: Vec<String> = Vec::new();
+        let mut last_ident = String::new();
+        loop {
+            if k == 0 {
+                break;
+            }
+            let j = k - 1;
+            match t[j].text.as_str() {
+                "]" => {
+                    // Index suffix: find the matching `[`, keep its text.
+                    let mut depth = 0usize;
+                    let mut m = j;
+                    loop {
+                        match t[m].text.as_str() {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if m == 0 {
+                            return None;
+                        }
+                        m -= 1;
+                    }
+                    let idx: String = t[m..=j].iter().map(|t| t.text.as_str()).collect();
+                    parts.push(idx);
+                    k = m;
+                }
+                _ if is_ident(t, j) || t[j].kind == Kind::Num => {
+                    if last_ident.is_empty() && t[j].kind == Kind::Ident {
+                        last_ident = t[j].text.clone();
+                    }
+                    parts.push(t[j].text.clone());
+                    // Continue left only through `.` / `::` separators.
+                    if j >= 2 && (tx(t, j - 1) == "." || tx(t, j - 1) == "::") {
+                        let p = j - 2;
+                        if is_ident(t, p) || t[p].kind == Kind::Num || tx(t, p) == "]" {
+                            parts.push(t[j - 1].text.clone());
+                            k = j - 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                _ => return None,
+            }
+            // After an index suffix, keep walking left through separators.
+            if k >= 1 && (is_ident(t, k - 1) || t[k - 1].kind == Kind::Num) {
+                continue;
+            }
+            break;
+        }
+        if parts.is_empty() || last_ident.is_empty() {
+            return None;
+        }
+        parts.reverse();
+        Some((parts.concat(), last_ident))
+    }
+
+    /// Attempts to consume a direct guard binding
+    /// `let [mut] NAME [: TYPE] = PATH.borrow[_mut]();` starting at the
+    /// `let` token. Returns the index past the `;` on success.
+    fn try_let_guard(&mut self, i: usize, depth: usize) -> Option<usize> {
+        let t = self.toks;
+        let mut j = i + 1;
+        if tx(t, j) == "mut" {
+            j += 1;
+        }
+        if !is_ident(t, j) {
+            return None;
+        }
+        let name = t[j].text.clone();
+        j += 1;
+        if tx(t, j) == ":" {
+            // Skip the type ascription up to the `=` at bracket depth 0.
+            j += 1;
+            let (mut pd, mut bd, mut ad) = (0i32, 0i32, 0i32);
+            loop {
+                match tx(t, j) {
+                    "" => return None,
+                    "(" => pd += 1,
+                    ")" => pd -= 1,
+                    "[" => bd += 1,
+                    "]" => bd -= 1,
+                    "<" => ad += 1,
+                    ">" => ad -= 1,
+                    "=" if pd == 0 && bd == 0 && ad == 0 => break,
+                    ";" | "{" | "}" if pd == 0 && bd == 0 => return None,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if tx(t, j) != "=" {
+            return None;
+        }
+        j += 1;
+        // Forward-parse PATH . borrow[_mut] ( ) ;
+        if !is_ident(t, j) {
+            return None;
+        }
+        let start = j;
+        loop {
+            let sep = tx(t, j + 1);
+            if sep == "." || sep == "::" {
+                let nxt = tx(t, j + 2);
+                if (nxt == "borrow" || nxt == "borrow_mut") && sep == "." && tx(t, j + 3) == "(" {
+                    break;
+                }
+                if is_ident(t, j + 2) || t.get(j + 2).is_some_and(|k| k.kind == Kind::Num) {
+                    j += 2;
+                    continue;
+                }
+                return None;
+            }
+            if sep == "[" {
+                let mut depth_b = 0usize;
+                let mut m = j + 1;
+                loop {
+                    match tx(t, m) {
+                        "" => return None,
+                        "[" => depth_b += 1,
+                        "]" => {
+                            depth_b -= 1;
+                            if depth_b == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                j = m;
+                continue;
+            }
+            return None;
+        }
+        let dot = j + 1;
+        if tx(t, dot + 2) != "(" || tx(t, dot + 3) != ")" || tx(t, dot + 4) != ";" {
+            return None;
+        }
+        let path: String = t[start..=j].iter().map(|k| k.text.as_str()).collect();
+        let mut last = String::new();
+        for k in (start..=j).rev() {
+            if t[k].kind == Kind::Ident {
+                last = t[k].text.clone();
+                break;
+            }
+        }
+        let line = t[dot + 1].line;
+        let bind = if name == "_" { None } else { Some(name) };
+        // `let _ = cell.borrow();` drops the guard immediately.
+        if bind.is_none() {
+            return Some(dot + 5);
+        }
+        self.borrow_event(path, last, line, bind, false, depth);
+        Some(dot + 5)
+    }
+
+    /// Whether a `|` at `i` starts a closure (vs. a binary/or-pattern
+    /// use), judged by the preceding token.
+    fn closure_starts(&self, i: usize, range_start: usize) -> bool {
+        if tx(self.toks, i.wrapping_sub(1)) == "move" {
+            return true;
+        }
+        if i == range_start {
+            return true;
+        }
+        match self.toks.get(i - 1) {
+            None => true,
+            Some(p) => matches!(
+                p.text.as_str(),
+                "(" | ","
+                    | "="
+                    | "=>"
+                    | "{"
+                    | ";"
+                    | "["
+                    | ":"
+                    | "&&"
+                    | "||"
+                    | "return"
+                    | "else"
+                    | "in"
+                    | "!"
+            ),
+        }
+    }
+
+    /// Walks tokens in `[i, end)` at block `depth`. Returns the index
+    /// just past the `}` that closes this block (or `end`).
+    #[allow(clippy::too_many_lines)]
+    fn scan(&mut self, mut i: usize, end: usize, depth: usize) -> usize {
+        let range_start = i;
+        let mut pending_matchlike = false;
+        let (mut pd, mut bd) = (0i32, 0i32); // paren/bracket depth within this block
+        let mut in_arm_pattern = *self.matchlike.last().unwrap_or(&false);
+        while i < end.min(self.toks.len()) {
+            let text = tx(self.toks, i);
+            match text {
+                "}" => {
+                    let was_matchlike = self.matchlike.pop().unwrap_or(false);
+                    self.guards.retain(|g| g.depth < depth);
+                    if was_matchlike && depth > 0 {
+                        // The match/for statement ends with its body:
+                        // scrutinee temporaries die here.
+                        self.guards
+                            .retain(|g| !(g.momentary && g.depth == depth - 1));
+                    }
+                    return i + 1;
+                }
+                "{" => {
+                    if !pending_matchlike {
+                        // A plain block ends the enclosing condition /
+                        // prefix expression: `if` and `while` condition
+                        // temporaries are dropped before the body runs
+                        // (unlike `match` scrutinees and `for` iterators).
+                        self.guards.retain(|g| !(g.momentary && g.depth == depth));
+                    }
+                    self.matchlike.push(pending_matchlike);
+                    pending_matchlike = false;
+                    i = self.scan(i + 1, end, depth + 1);
+                    continue;
+                }
+                ";" if pd == 0 && bd == 0 => {
+                    self.guards.retain(|g| !(g.momentary && g.depth == depth));
+                    pending_matchlike = false;
+                    i += 1;
+                }
+                "," if pd == 0 && bd == 0 && *self.matchlike.last().unwrap_or(&false) => {
+                    // Next match arm: temporaries of the previous arm die,
+                    // and we are back in pattern position.
+                    self.guards.retain(|g| !(g.momentary && g.depth == depth));
+                    in_arm_pattern = true;
+                    i += 1;
+                }
+                "(" => {
+                    pd += 1;
+                    i += 1;
+                }
+                ")" => {
+                    pd -= 1;
+                    i += 1;
+                }
+                "[" => {
+                    bd += 1;
+                    i += 1;
+                }
+                "]" => {
+                    bd -= 1;
+                    i += 1;
+                }
+                "=>" => {
+                    in_arm_pattern = false;
+                    i += 1;
+                }
+                "match" | "for" => {
+                    pending_matchlike = true;
+                    i += 1;
+                }
+                "if" | "while" => {
+                    pending_matchlike = tx(self.toks, i + 1) == "let";
+                    i += 1;
+                }
+                "let" => match self.try_let_guard(i, depth) {
+                    Some(ni) => i = ni,
+                    None => i += 1,
+                },
+                "drop"
+                    if tx(self.toks, i + 1) == "("
+                        && is_ident(self.toks, i + 2)
+                        && tx(self.toks, i + 3) == ")" =>
+                {
+                    let name = tx(self.toks, i + 2).to_string();
+                    if let Some(pos) = self
+                        .guards
+                        .iter()
+                        .rposition(|g| g.var.as_deref() == Some(&name))
+                    {
+                        self.guards.remove(pos);
+                    }
+                    i += 4;
+                }
+                "fn" => {
+                    // Nested fn item: analyzed separately; skip its body.
+                    match fn_body_open(self.toks, i) {
+                        Some(open) if open < end => i = matching_brace(self.toks, open) + 1,
+                        _ => i += 1,
+                    }
+                }
+                "|" | "||" if !in_arm_pattern && self.closure_starts(i, range_start) => {
+                    i = self.closure(i, end);
+                }
+                "borrow" | "borrow_mut"
+                    if tx(self.toks, i.wrapping_sub(1)) == "."
+                        && tx(self.toks, i + 1) == "("
+                        && tx(self.toks, i + 2) == ")" =>
+                {
+                    let line = self.toks[i].line;
+                    let (cell, last) = self
+                        .path_backward(i - 1)
+                        .unwrap_or_else(|| (format!("?{i}"), String::new()));
+                    self.borrow_event(cell, last, line, None, true, depth);
+                    i += 3;
+                }
+                _ if POOL_APIS.contains(&text)
+                    && is_ident(self.toks, i)
+                    && tx(self.toks, i + 1) == "("
+                    && tx(self.toks, i.wrapping_sub(1)) != "fn" =>
+                {
+                    let line = self.toks[i].line;
+                    let hit = self.live_guards().next().map(|g| (g.cell.clone(), g.line));
+                    if let Some((gcell, gline)) = hit {
+                        if !is_allowed(self.allows, "guard-across-pool", line) {
+                            self.out.violations.push(Violation {
+                                file: self.file.to_path_buf(),
+                                line,
+                                rule: "guard-across-pool",
+                                message: format!(
+                                    "`{text}` is called while the guard on `{gcell}` (line \
+                                     {gline}) is live — the borrow crosses the worker pool \
+                                     and panics at first contention; finish the borrow or \
+                                     copy what you need out before fanning out"
+                                ),
+                                text: source_line(self.lines, line),
+                            });
+                        }
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Consumes a closure starting at the `|` / `||` at `i`: its body is
+    /// analyzed as a separate function (fresh guard context — it usually
+    /// runs later). Returns the index just past the body.
+    fn closure(&mut self, i: usize, end: usize) -> usize {
+        let t = self.toks;
+        // Find the end of the parameter list.
+        let body = if tx(t, i) == "||" {
+            i + 1
+        } else {
+            let mut j = i + 1;
+            loop {
+                match tx(t, j) {
+                    "" | ";" | "{" => return i + 1, // not actually a closure
+                    "|" => break j + 1,
+                    _ => j += 1,
+                }
+            }
+        };
+        let mut child = Walker {
+            toks: self.toks,
+            file: self.file,
+            lines: self.lines,
+            allows: self.allows,
+            out: self.out,
+            guards: Vec::new(),
+            matchlike: vec![false],
+        };
+        if tx(t, body) == "{" {
+            child.matchlike.push(false);
+            let after = child.scan(body + 1, end, 2);
+            return after;
+        }
+        // Expression body: runs to the next `,` / `)` / `;` / `}` / `]`
+        // at this nesting level.
+        let (mut pd, mut bd, mut brd) = (0i32, 0i32, 0i32);
+        let mut j = body;
+        while j < end.min(t.len()) {
+            match tx(t, j) {
+                "(" => pd += 1,
+                "[" => bd += 1,
+                "{" => brd += 1,
+                ")" if pd == 0 => break,
+                "]" if bd == 0 => break,
+                "}" if brd == 0 => break,
+                ")" => pd -= 1,
+                "]" => bd -= 1,
+                "}" => brd -= 1,
+                "," | ";" if pd == 0 && bd == 0 && brd == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        child.scan(body, j, 1);
+        j
+    }
+}
+
+/// Runs the borrow analysis over every function in one lexed file.
+pub fn analyze_file(path: &Path, lexed: &Lexed, lines: &[&str]) -> FileBorrows {
+    let mut out = FileBorrows::default();
+    for f in functions(&lexed.tokens) {
+        let mut w = Walker {
+            toks: &lexed.tokens,
+            file: path,
+            lines,
+            allows: &lexed.allows,
+            out: &mut out,
+            guards: Vec::new(),
+            matchlike: vec![false],
+        };
+        w.scan(f.open + 1, f.close + 1, 1);
+    }
+    out
+}
+
+/// Unions borrow-order edges (typically one crate's worth) and reports
+/// every edge that participates in a cycle. Edges are deduplicated by
+/// `(from, to)` keeping the first site.
+pub fn cycle_violations(edges: &[Edge]) -> Vec<Violation> {
+    let mut first: BTreeMap<(&str, &str), &Edge> = BTreeMap::new();
+    for e in edges {
+        first.entry((&e.from, &e.to)).or_insert(e);
+    }
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in first.keys() {
+        adj.entry(from).or_default().insert(to);
+    }
+    let reach = |src: &str, dst: &str| -> Option<Vec<String>> {
+        // BFS path src -> dst.
+        let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([src]);
+        let mut seen = BTreeSet::from([src]);
+        while let Some(n) = queue.pop_front() {
+            if n == dst {
+                let mut path = vec![dst.to_string()];
+                let mut cur = dst;
+                while cur != src {
+                    cur = prev[cur];
+                    path.push(cur.to_string());
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &m in adj.get(n).into_iter().flatten() {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        None
+    };
+    let mut out = Vec::new();
+    for ((from, to), e) in &first {
+        if let Some(back) = reach(to, from) {
+            let mut cycle = vec![from.to_string()];
+            cycle.extend(back);
+            out.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "borrow-order",
+                message: format!(
+                    "borrow-order cycle `{}`: a guard on `{from}` is live here while \
+                     `{to}` is borrowed, and elsewhere the crate nests the opposite \
+                     order — under contention the interleaving panics; pick one \
+                     crate-wide order or copy values out instead of nesting",
+                    cycle.join(" -> ")
+                ),
+                text: e.text.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn run(src: &str) -> FileBorrows {
+        let lexed = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        analyze_file(Path::new("t.rs"), &lexed, &lines)
+    }
+
+    fn rules_fired(src: &str) -> Vec<&'static str> {
+        let fb = run(src);
+        let mut rules: Vec<&'static str> = fb.violations.iter().map(|v| v.rule).collect();
+        rules.extend(cycle_violations(&fb.edges).iter().map(|v| v.rule));
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn let_guard_then_second_borrow_overlaps() {
+        let src = "fn f(cell: &Shared<u32>) {\n\
+                   let g = cell.borrow();\n\
+                   let h = cell.borrow_mut();\n\
+                   }";
+        let fb = run(src);
+        assert_eq!(fb.violations.len(), 1, "{:?}", fb.violations);
+        assert_eq!(fb.violations[0].rule, "borrow-overlap");
+        assert_eq!(fb.violations[0].line, 3);
+    }
+
+    #[test]
+    fn two_borrows_in_one_statement_overlap() {
+        let src = "fn f(c: &Shared<P>) { let x = c.borrow().a + c.borrow().b; }";
+        assert_eq!(rules_fired(src), ["borrow-overlap"]);
+    }
+
+    #[test]
+    fn field_paths_distinguish_cells() {
+        let src = "fn f(&self) { let a = self.links.borrow_mut(); self.state.borrow().x; }";
+        let fb = run(src);
+        assert!(fb.violations.is_empty(), "{:?}", fb.violations);
+        // ... but the nesting records an order edge links -> state.
+        assert_eq!(fb.edges.len(), 1);
+        assert_eq!(
+            (fb.edges[0].from.as_str(), fb.edges[0].to.as_str()),
+            ("links", "state")
+        );
+    }
+
+    #[test]
+    fn momentary_guards_in_sequence_are_clean() {
+        let src = "fn f(c: &Shared<P>) {\n\
+                   c.borrow_mut().push(1);\n\
+                   c.borrow_mut().push(2);\n\
+                   let n = c.borrow().len();\n\
+                   assert_eq!(n, 2);\n\
+                   }";
+        assert!(run(src).violations.is_empty());
+    }
+
+    #[test]
+    fn block_scoping_releases_let_guards() {
+        let src = "fn f(c: &Shared<P>) {\n\
+                   { let g = c.borrow_mut(); g.push(1); }\n\
+                   let h = c.borrow();\n\
+                   }";
+        assert!(run(src).violations.is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f(c: &Shared<P>) {\n\
+                   let g = c.borrow_mut();\n\
+                   drop(g);\n\
+                   let h = c.borrow();\n\
+                   }";
+        assert!(run(src).violations.is_empty());
+    }
+
+    #[test]
+    fn shadowing_rebind_still_overlaps() {
+        // The first guard is shadowed, not dropped — it lives to the end
+        // of the block, so the second borrow panics at runtime.
+        let src = "fn f(c: &Shared<P>) { let g = c.borrow(); let g = c.borrow(); g.x(); }";
+        assert_eq!(rules_fired(src), ["borrow-overlap"]);
+    }
+
+    #[test]
+    fn match_arms_are_independent_but_scrutinee_stays_live() {
+        let clean = "fn f(c: &Shared<P>) {\n\
+                     match x {\n\
+                     A => c.borrow().a(),\n\
+                     B => c.borrow().b(),\n\
+                     }\n\
+                     }";
+        assert!(
+            run(clean).violations.is_empty(),
+            "{:?}",
+            run(clean).violations
+        );
+        let bad = "fn f(c: &Shared<P>) {\n\
+                   match c.borrow().kind {\n\
+                   A => c.borrow_mut().reset(),\n\
+                   B => 0,\n\
+                   }\n\
+                   }";
+        assert_eq!(rules_fired(bad), ["borrow-overlap"]);
+    }
+
+    #[test]
+    fn plain_if_condition_temporaries_do_not_leak_into_the_body() {
+        let src = "fn f(c: &Shared<P>) { if c.borrow().ready { c.borrow_mut().fire(); } }";
+        assert!(run(src).violations.is_empty(), "{:?}", run(src).violations);
+    }
+
+    #[test]
+    fn condition_temporaries_die_at_the_block_not_the_statement_end() {
+        // `if c.borrow()... { }` has no trailing `;`, but the condition
+        // temporary is gone by the next statement.
+        let src = "fn f(c: &Shared<P>) { if c.borrow().a { } let g = c.borrow_mut(); g.x(); }";
+        assert!(run(src).violations.is_empty(), "{:?}", run(src).violations);
+    }
+
+    #[test]
+    fn closure_bodies_are_separate_contexts() {
+        // The closure runs later; the guard is gone by then.
+        let src = "fn f(c: &Shared<P>, sim: &mut Sim) {\n\
+                   let g = c.borrow();\n\
+                   sim.schedule(move |_| c2.borrow_mut().push(1));\n\
+                   g.x();\n\
+                   }";
+        let fb = run(src);
+        assert!(fb.violations.is_empty(), "{:?}", fb.violations);
+        assert!(fb.edges.is_empty(), "{:?}", fb.edges);
+    }
+
+    #[test]
+    fn guard_across_pool_fires() {
+        let src = "fn f(c: &Shared<P>) {\n\
+                   let g = c.borrow();\n\
+                   let out = par_map(items, work);\n\
+                   g.x();\n\
+                   }";
+        let fb = run(src);
+        assert_eq!(fb.violations.len(), 1, "{:?}", fb.violations);
+        assert_eq!(fb.violations[0].rule, "guard-across-pool");
+    }
+
+    #[test]
+    fn pool_call_without_live_guard_is_clean() {
+        let src = "fn f(c: &Shared<P>) {\n\
+                   let n = c.borrow().len();\n\
+                   let out = pool.par_map(items, work);\n\
+                   std::thread::scope(|s| { s.spawn(|| {}); });\n\
+                   }";
+        assert!(run(src).violations.is_empty(), "{:?}", run(src).violations);
+    }
+
+    #[test]
+    fn pool_fn_definitions_do_not_fire() {
+        let src = "fn par_map(items: Vec<u32>) { } fn spawn_workers(n: usize) { }";
+        assert!(run(src).violations.is_empty());
+    }
+
+    #[test]
+    fn order_cycle_across_functions_is_detected() {
+        let src = "fn a(&self) { let g = self.cache.borrow_mut(); self.queue.borrow().len(); }\n\
+                   fn b(&self) { let g = self.queue.borrow_mut(); self.cache.borrow().len(); }";
+        let fb = run(src);
+        let cyc = cycle_violations(&fb.edges);
+        assert_eq!(cyc.len(), 2, "{cyc:?}");
+        assert!(
+            cyc[0].message.contains("cache -> queue -> cache")
+                || cyc[0].message.contains("queue -> cache -> queue")
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_not_a_cycle() {
+        let src = "fn a(&self) { let g = self.cache.borrow_mut(); self.queue.borrow().len(); }\n\
+                   fn b(&self) { let g = self.cache.borrow_mut(); self.queue.borrow().len(); }";
+        let fb = run(src);
+        assert!(cycle_violations(&fb.edges).is_empty());
+    }
+
+    #[test]
+    fn cross_function_unification_uses_the_final_component() {
+        // `self.state` in one fn, `platform.state` in the other: same cell
+        // family, so the opposite nesting is still a cycle.
+        let src = "fn a(&self) { let g = self.state.borrow_mut(); self.rng.borrow().x(); }\n\
+                   fn b(platform: &P) { let g = platform.rng.borrow_mut(); platform.state.borrow().x(); }";
+        let fb = run(src);
+        assert!(!cycle_violations(&fb.edges).is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_each_borrow_rule() {
+        let overlap = "fn f(c: &Shared<P>) {\n\
+                       let g = c.borrow();\n\
+                       // seeded double-borrow test; lint: allow(borrow-overlap)\n\
+                       let h = c.borrow();\n\
+                       }";
+        assert!(run(overlap).violations.is_empty());
+        let order = "fn a(&self) { let g = self.x.borrow_mut(); self.y.borrow().k(); }\n\
+                     fn b(&self) {\n\
+                     let g = self.y.borrow_mut();\n\
+                     // audited: cannot contend; lint: allow(borrow-order)\n\
+                     self.x.borrow().k();\n\
+                     }";
+        let fb = run(order);
+        assert!(cycle_violations(&fb.edges).is_empty(), "{:?}", fb.edges);
+        let pool = "fn f(c: &Shared<P>) {\n\
+                    let g = c.borrow();\n\
+                    // guard is read-only setup data; lint: allow(guard-across-pool)\n\
+                    par_map(items, work);\n\
+                    }";
+        assert!(run(pool).violations.is_empty());
+    }
+
+    #[test]
+    fn unresolvable_receivers_do_not_false_positive() {
+        let src = "fn f() { make_cell().borrow_mut().push(1); make_cell().borrow().len(); }";
+        let fb = run(src);
+        assert!(fb.violations.is_empty());
+        assert!(fb.edges.is_empty());
+    }
+
+    #[test]
+    fn for_loop_iterator_temporaries_stay_live_across_the_body() {
+        let src = "fn f(c: &Shared<P>) { for x in c.borrow().items() { c.borrow_mut().mark(x); } }";
+        assert_eq!(rules_fired(src), ["borrow-overlap"]);
+    }
+
+    #[test]
+    fn underscore_let_drops_immediately() {
+        let src = "fn f(c: &Shared<P>) { let _ = c.borrow(); let g = c.borrow_mut(); }";
+        assert!(run(src).violations.is_empty(), "{:?}", run(src).violations);
+    }
+}

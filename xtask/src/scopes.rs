@@ -1,0 +1,134 @@
+//! Brace/scope tracking over the token stream: function discovery and
+//! balanced-delimiter navigation.
+//!
+//! The borrow analysis runs per function body. This module finds every
+//! `fn` item in a lexed file (free functions, inherent/trait methods,
+//! functions nested inside other functions — each gets its own entry) and
+//! exposes the matching-brace arithmetic the walker needs. Closures are
+//! *not* items; `borrows` discovers them inside a body during its walk.
+
+use crate::lex::{Kind, Token};
+
+/// One `fn` item: its name and the token range of its body.
+#[derive(Debug)]
+pub struct FnScope {
+    /// The function's name — exercised by the discovery tests; the
+    /// analyses key off token ranges only.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+}
+
+/// Returns the index of the `}` matching the `{` at `open`, or the stream
+/// end if unbalanced. Literals are single tokens, so braces inside strings
+/// can never miscount.
+pub fn matching_brace(toks: &[Token], open: usize) -> usize {
+    debug_assert_eq!(toks[open].text, "{");
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// From the token index of a `fn` keyword, finds the opening `{` of its
+/// body: the first `{` outside the parameter parentheses/brackets. Returns
+/// `None` for bodyless signatures (trait methods), which end at `;`.
+pub fn fn_body_open(toks: &[Token], fn_idx: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(fn_idx + 1) {
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return Some(i),
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds every named `fn` item in the stream. Function-pointer types
+/// (`fn(u32) -> u32`) have no name token after `fn` and are skipped.
+pub fn functions(toks: &[Token]) -> Vec<FnScope> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != Kind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        if let Some(open) = fn_body_open(toks, i) {
+            out.push(FnScope {
+                name: name_tok.text.clone(),
+                open,
+                close: matching_brace(toks, open),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    #[test]
+    fn finds_free_and_nested_functions() {
+        let src = "fn outer() { fn inner(x: u32) -> u32 { x } inner(1); }\nfn other() {}";
+        let lexed = lex(src);
+        let fns = functions(&lexed.tokens);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "other"]);
+        // inner's body nests inside outer's.
+        assert!(fns[1].open > fns[0].open && fns[1].close < fns[0].close);
+    }
+
+    #[test]
+    fn skips_bodyless_trait_signatures_and_fn_pointers() {
+        let src = "trait T { fn sig(&self) -> u32; }\ntype F = fn(u32) -> bool;\nfn real() {}";
+        let fns = functions(&lex(src).tokens);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_confuse_body_start() {
+        let src = "fn g<T: Into<Vec<u8>>>(x: T) -> Vec<u8> where T: Clone { x.into() }";
+        let fns = functions(&lex(src).tokens);
+        assert_eq!(fns.len(), 1);
+        let toks = &lex(src).tokens;
+        assert_eq!(toks[fns[0].open].text, "{");
+        assert_eq!(toks[fns[0].close].text, "}");
+        assert_eq!(fns[0].close, toks.len() - 1);
+    }
+
+    #[test]
+    fn matching_brace_handles_nesting() {
+        let src = "{ a { b { c } } d }";
+        let toks = lex(src).tokens;
+        assert_eq!(matching_brace(&toks, 0), toks.len() - 1);
+    }
+}
