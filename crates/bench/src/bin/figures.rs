@@ -134,6 +134,13 @@ fn main() {
         let f = bench::fig12_managers();
         emit(dir, "fig12_managers", &f, f.render());
     }
+    // Opt-in only — deliberately NOT covered by `all`: the chaos cell
+    // extends the paper rather than reproducing it, and keeping it out of
+    // the default run keeps the golden figure set byte-stable.
+    if wanted.iter().any(|w| w == "fig13") {
+        let f = bench::fig13_adaptive();
+        emit(dir, "fig13_adaptive", &f, f.render());
+    }
     if want("inputs") {
         let f = bench::text_input_sizes();
         emit(dir, "text_input_sizes", &f, f.render());

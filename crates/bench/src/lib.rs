@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod figures;
 pub mod plan_cache;
 pub mod preflight;
@@ -25,6 +26,7 @@ pub mod table;
 pub mod trace_dir;
 
 pub use ablations::{ablations, AblationRow, Ablations};
+pub use chaos::{fig13_adaptive, Fig13, Fig13Row};
 pub use figures::*;
 pub use plan_cache::{plan_cache, plan_cache_enabled, plan_cache_stats, set_plan_cache_enabled};
 pub use preflight::preflight_paper_inputs;

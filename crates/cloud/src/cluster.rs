@@ -185,10 +185,29 @@ impl SubCluster {
     }
 }
 
+/// Spot-pool state: the piecewise price trace and reclaimed nodes.
+struct SpotState {
+    /// `(from_secs, price_per_hour)` breakpoints, ascending, first at 0;
+    /// the last segment persists forever.
+    price_trace: Vec<(f64, f64)>,
+    /// Reclaimed nodes: `(sub, node)` → (reclaim instant, fault id).
+    preempted: std::collections::BTreeMap<(usize, usize), (SimTime, u64)>,
+}
+
 struct ClusterState {
     billing_started: Option<SimTime>,
     billed_node_seconds: f64,
     tracer: Tracer,
+    spot: Option<SpotState>,
+}
+
+/// Per-task completion accumulator shared by a task's component events.
+struct Accum {
+    remaining: usize,
+    io_secs: f64,
+    compute_secs: f64,
+    start: SimTime,
+    done: Option<ClusterDoneFn>,
 }
 
 /// A shareable VM cluster. Cloning shares the same nodes and links.
@@ -238,9 +257,135 @@ impl VmCluster {
                 billing_started: None,
                 billed_node_seconds: 0.0,
                 tracer: Tracer::off(),
+                spot: None,
             }),
             cfg,
         }
+    }
+
+    /// Switches the cluster to spot pools: nodes can be reclaimed mid-run
+    /// and billing integrates the piecewise `(from_secs, price_per_hour)`
+    /// trace per node (empty = flat on-demand price). Must be called
+    /// before billing starts.
+    pub fn enable_spot(&self, mut price_trace: Vec<(f64, f64)>) {
+        let mut s = self.state.borrow_mut();
+        assert!(
+            s.billing_started.is_none(),
+            "enable spot pools before billing starts"
+        );
+        if price_trace.first().is_none_or(|p| p.0 > 0.0) {
+            price_trace.insert(0, (0.0, self.cfg.instance.price_per_hour));
+        }
+        s.spot = Some(SpotState {
+            price_trace,
+            preempted: std::collections::BTreeMap::new(),
+        });
+    }
+
+    /// True when spot pools are enabled.
+    pub fn spot_enabled(&self) -> bool {
+        self.state.borrow().spot.is_some()
+    }
+
+    /// Reclaims a spot node given a flat cluster-wide index (clamped into
+    /// range), mapping it onto the actual sub-cluster split — fault plans
+    /// stay valid whatever split the planner chose.
+    pub fn preempt_flat(&self, now: SimTime, flat: usize, fault_id: u64) {
+        let mut rest = flat % self.cfg.nodes;
+        for (sub_idx, sub) in self.subs.iter().enumerate() {
+            if rest < sub.nodes() {
+                self.preempt_node(now, sub_idx, rest, fault_id);
+                return;
+            }
+            rest -= sub.nodes();
+        }
+        unreachable!("flat index within node count");
+    }
+
+    /// Reclaims a specific (sub-cluster, node): future placement avoids it
+    /// and billing stops at the reclaim instant. No-op when spot pools are
+    /// off, the node is already reclaimed, or it is the sub-cluster's last
+    /// survivor (liveness: a run must always be able to finish).
+    pub fn preempt_node(&self, now: SimTime, sub: usize, node: usize, fault_id: u64) {
+        let mut s = self.state.borrow_mut();
+        let Some(spot) = s.spot.as_mut() else { return };
+        if spot.preempted.contains_key(&(sub, node)) {
+            return;
+        }
+        let alive = self.subs[sub].nodes() - spot.preempted.keys().filter(|k| k.0 == sub).count();
+        if alive <= 1 {
+            return;
+        }
+        spot.preempted.insert((sub, node), (now, fault_id));
+        s.tracer.emit(
+            now,
+            TraceEvent::SpotPreempt {
+                id: fault_id,
+                sub,
+                node,
+            },
+        );
+    }
+
+    /// Nodes not yet reclaimed (all nodes when spot pools are off).
+    pub fn surviving_nodes(&self) -> usize {
+        self.cfg.nodes - self.preempted_nodes()
+    }
+
+    /// Reclaimed node count.
+    pub fn preempted_nodes(&self) -> usize {
+        self.state
+            .borrow()
+            .spot
+            .as_ref()
+            .map_or(0, |sp| sp.preempted.len())
+    }
+
+    fn preempted_at(&self, sub: usize, node: usize) -> Option<(SimTime, u64)> {
+        self.state
+            .borrow()
+            .spot
+            .as_ref()
+            .and_then(|sp| sp.preempted.get(&(sub, node)).copied())
+    }
+
+    /// Maps a component's preferred node onto a surviving one. Identity
+    /// when spot pools are off or the preferred node is alive.
+    fn resolve_node(&self, sub: usize, preferred: usize) -> usize {
+        let s = self.state.borrow();
+        let Some(spot) = s.spot.as_ref() else {
+            return preferred;
+        };
+        if !spot.preempted.contains_key(&(sub, preferred)) {
+            return preferred;
+        }
+        let n = self.subs[sub].nodes();
+        let alive: Vec<usize> = (0..n)
+            .filter(|&i| !spot.preempted.contains_key(&(sub, i)))
+            .collect();
+        assert!(
+            !alive.is_empty(),
+            "sub-cluster {sub} lost every node to preemption"
+        );
+        alive[preferred % alive.len()]
+    }
+
+    /// Integrates the piecewise price over `[from, to)` seconds for one
+    /// node, charging the meter per segment. Returns billed node-seconds
+    /// and dollars, computed with the meter's own arithmetic so the cost
+    /// oracle reconciles `SpotBill` records exactly.
+    fn charge_spot_segments(&self, trace: &[(f64, f64)], from: f64, to: f64) -> (f64, f64) {
+        let mut dollars = 0.0;
+        for (i, &(seg_from, price)) in trace.iter().enumerate() {
+            let seg_to = trace.get(i + 1).map_or(f64::INFINITY, |s| s.0);
+            let a = from.max(seg_from);
+            let b = to.min(seg_to);
+            if b > a {
+                self.meter.charge_vm(b - a, price);
+                dollars += (b - a) / 3600.0 * price;
+            }
+        }
+        (to - from, dollars)
     }
 
     /// Attaches a flight recorder; component timeshare windows and billing
@@ -287,20 +432,58 @@ impl VmCluster {
         }
     }
 
-    /// Stops billing and charges the meter for the elapsed node time.
+    /// Stops billing and charges the meter for the elapsed node time. With
+    /// spot pools enabled, each node is billed to its reclaim instant (or
+    /// the stop instant) across the piecewise price segments, and per-node
+    /// `SpotBill` records replace the single `BillingStop`.
     pub fn stop_billing(&self, now: SimTime) {
         let mut s = self.state.borrow_mut();
         if let Some(t0) = s.billing_started.take() {
-            let node_secs = now.saturating_since(t0).as_secs() * self.cfg.nodes as f64;
-            s.billed_node_seconds += node_secs;
-            self.meter
-                .charge_vm(node_secs, self.cfg.instance.price_per_hour);
-            s.tracer.emit(
-                now,
-                TraceEvent::BillingStop {
-                    node_seconds: node_secs,
-                },
-            );
+            if let Some(spot) = s.spot.as_ref() {
+                let trace = spot.price_trace.clone();
+                let preempted = spot.preempted.clone();
+                let mut bills = Vec::new();
+                let mut total = 0.0;
+                for (sub_idx, sub) in self.subs.iter().enumerate() {
+                    for node in 0..sub.nodes() {
+                        let end = preempted.get(&(sub_idx, node)).map_or(now, |&(t, _)| {
+                            if t < now {
+                                t
+                            } else {
+                                now
+                            }
+                        });
+                        let from = t0.as_secs();
+                        let to = end.as_secs().max(from);
+                        let (secs, dollars) = self.charge_spot_segments(&trace, from, to);
+                        total += secs;
+                        bills.push((sub_idx, node, secs, dollars));
+                    }
+                }
+                s.billed_node_seconds += total;
+                for (sub, node, node_seconds, dollars) in bills {
+                    s.tracer.emit(
+                        now,
+                        TraceEvent::SpotBill {
+                            sub,
+                            node,
+                            node_seconds,
+                            dollars,
+                        },
+                    );
+                }
+            } else {
+                let node_secs = now.saturating_since(t0).as_secs() * self.cfg.nodes as f64;
+                s.billed_node_seconds += node_secs;
+                self.meter
+                    .charge_vm(node_secs, self.cfg.instance.price_per_hour);
+                s.tracer.emit(
+                    now,
+                    TraceEvent::BillingStop {
+                        node_seconds: node_secs,
+                    },
+                );
+            }
         }
     }
 
@@ -369,13 +552,6 @@ impl VmCluster {
             "WAN I/O requires an object store"
         );
 
-        struct Accum {
-            remaining: usize,
-            io_secs: f64,
-            compute_secs: f64,
-            start: SimTime,
-            done: Option<ClusterDoneFn>,
-        }
         let accum = shared(Accum {
             remaining: spec.components,
             io_secs: 0.0,
@@ -419,98 +595,7 @@ impl VmCluster {
                 let store = store.clone();
                 move |sim: &mut Simulation| {
                     accum.borrow_mut().io_secs += sim.now().since(read_begin).as_secs();
-                    // --- compute: timeshare the node ---
-                    let load = {
-                        let sub = &cluster.subs[spec.subcluster];
-                        let mut loads = sub.node_loads.borrow_mut();
-                        loads[node_idx] += 1;
-                        let l = loads[node_idx];
-                        let prev = sub.peak_load.load(std::sync::atomic::Ordering::Relaxed);
-                        sub.peak_load
-                            .store(prev.max(l), std::sync::atomic::Ordering::Relaxed);
-                        l
-                    };
-                    let factor = VmCluster::timeshare_factor(
-                        load,
-                        cluster.cfg.instance.cores,
-                        spec.memory_gb,
-                        cluster.cfg.instance.memory_gb,
-                        spec.contention_coeff,
-                    );
-                    let thrash = load as f64 * spec.memory_gb > cluster.cfg.instance.memory_gb
-                        && spec.contention_coeff > 0.0;
-                    // Build the event only when recording: the label clone
-                    // is per-component heap churn at million-task scale.
-                    if cluster.tracer().is_on() {
-                        cluster.tracer().emit(
-                            sim.now(),
-                            TraceEvent::VmCompStart {
-                                task: spec.label.clone(),
-                                sub: spec.subcluster,
-                                node: node_idx,
-                                load,
-                                mem_gb: spec.memory_gb,
-                                factor,
-                                thrash,
-                            },
-                        );
-                    }
-                    let secs = spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
-                    let dur = SimDuration::from_secs(secs);
-                    accum.borrow_mut().compute_secs += secs;
-                    sim.schedule_in(dur, move |sim| {
-                        cluster.subs[spec.subcluster].node_loads.borrow_mut()[node_idx] -= 1;
-                        if cluster.tracer().is_on() {
-                            cluster.tracer().emit(
-                                sim.now(),
-                                TraceEvent::VmCompEnd {
-                                    task: spec.label.clone(),
-                                    sub: spec.subcluster,
-                                    node: node_idx,
-                                },
-                            );
-                        }
-                        // --- output ---
-                        let write_begin = sim.now();
-                        let finish = {
-                            let accum = accum.clone();
-                            move |sim: &mut Simulation| {
-                                let mut a = accum.borrow_mut();
-                                a.io_secs += sim.now().since(write_begin).as_secs();
-                                a.remaining -= 1;
-                                if a.remaining == 0 {
-                                    let stats = ClusterRunStats {
-                                        start: a.start,
-                                        end: sim.now(),
-                                        io_secs: a.io_secs,
-                                        compute_secs: a.compute_secs,
-                                    };
-                                    let cb = a.done.take().expect("done fires once");
-                                    drop(a);
-                                    cb(sim, stats);
-                                }
-                            }
-                        };
-                        if spec.output_bytes <= 0.0 || spec.output == ClusterOutput::None {
-                            sim.schedule_now(finish);
-                        } else if spec.output == ClusterOutput::Wan {
-                            let s = store.clone().expect("store checked above");
-                            s.write(
-                                sim,
-                                spec.output_bytes,
-                                spec.io_requests,
-                                Some(cluster.cfg.instance.wan_bps),
-                                move |sim, _| finish(sim),
-                            );
-                        } else {
-                            cluster.subs[spec.subcluster].fabric_link.start_transfer(
-                                sim,
-                                spec.output_bytes,
-                                Some(cluster.cfg.instance.node_nic_bps),
-                                finish,
-                            );
-                        }
-                    });
+                    VmCluster::compute_component(cluster, spec, accum, store, node_idx, jf, sim);
                 }
             };
             if no_input {
@@ -542,6 +627,145 @@ impl VmCluster {
         if no_input {
             sim.schedule_batch_now(batch);
         }
+    }
+
+    /// Runs one component's compute-and-output stage on a node of
+    /// `spec.subcluster`. Without spot pools this is exactly the legacy
+    /// compute path (same state updates, same events, same order); with
+    /// them, the component lands on a surviving node, and if a preemption
+    /// reclaims the node mid-window the attempt's work is lost and the
+    /// component retries on a survivor (chaining a `CompRetry` record to
+    /// the preemption's fault id).
+    fn compute_component(
+        cluster: VmCluster,
+        spec: std::sync::Arc<ClusterTaskSpec>,
+        accum: Shared<Accum>,
+        store: Option<ObjectStore>,
+        preferred_node: usize,
+        jf: f64,
+        sim: &mut Simulation,
+    ) {
+        let node_idx = cluster.resolve_node(spec.subcluster, preferred_node);
+        // --- compute: timeshare the node ---
+        let load = {
+            let sub = &cluster.subs[spec.subcluster];
+            let mut loads = sub.node_loads.borrow_mut();
+            loads[node_idx] += 1;
+            let l = loads[node_idx];
+            let prev = sub.peak_load.load(std::sync::atomic::Ordering::Relaxed);
+            sub.peak_load
+                .store(prev.max(l), std::sync::atomic::Ordering::Relaxed);
+            l
+        };
+        let factor = VmCluster::timeshare_factor(
+            load,
+            cluster.cfg.instance.cores,
+            spec.memory_gb,
+            cluster.cfg.instance.memory_gb,
+            spec.contention_coeff,
+        );
+        let thrash = load as f64 * spec.memory_gb > cluster.cfg.instance.memory_gb
+            && spec.contention_coeff > 0.0;
+        // Build the event only when recording: the label clone
+        // is per-component heap churn at million-task scale.
+        if cluster.tracer().is_on() {
+            cluster.tracer().emit(
+                sim.now(),
+                TraceEvent::VmCompStart {
+                    task: spec.label.clone(),
+                    sub: spec.subcluster,
+                    node: node_idx,
+                    load,
+                    mem_gb: spec.memory_gb,
+                    factor,
+                    thrash,
+                },
+            );
+        }
+        let secs = spec.compute_secs / cluster.cfg.instance.core_speed * factor * jf;
+        let dur = SimDuration::from_secs(secs);
+        accum.borrow_mut().compute_secs += secs;
+        sim.schedule_in(dur, move |sim| {
+            cluster.subs[spec.subcluster].node_loads.borrow_mut()[node_idx] -= 1;
+            if cluster.tracer().is_on() {
+                cluster.tracer().emit(
+                    sim.now(),
+                    TraceEvent::VmCompEnd {
+                        task: spec.label.clone(),
+                        sub: spec.subcluster,
+                        node: node_idx,
+                    },
+                );
+            }
+            // Spot: the node may have been reclaimed mid-window; the
+            // attempt's work is lost and the component retries.
+            if let Some((t_pre, fault_id)) = cluster.preempted_at(spec.subcluster, node_idx) {
+                if t_pre < sim.now() {
+                    let retry_node = cluster.resolve_node(spec.subcluster, preferred_node);
+                    if cluster.tracer().is_on() {
+                        cluster.tracer().emit(
+                            sim.now(),
+                            TraceEvent::CompRetry {
+                                id: fault_id,
+                                task: spec.label.clone(),
+                                sub: spec.subcluster,
+                                node: retry_node,
+                            },
+                        );
+                    }
+                    VmCluster::compute_component(
+                        cluster,
+                        spec,
+                        accum,
+                        store,
+                        preferred_node,
+                        jf,
+                        sim,
+                    );
+                    return;
+                }
+            }
+            // --- output ---
+            let write_begin = sim.now();
+            let finish = {
+                let accum = accum.clone();
+                move |sim: &mut Simulation| {
+                    let mut a = accum.borrow_mut();
+                    a.io_secs += sim.now().since(write_begin).as_secs();
+                    a.remaining -= 1;
+                    if a.remaining == 0 {
+                        let stats = ClusterRunStats {
+                            start: a.start,
+                            end: sim.now(),
+                            io_secs: a.io_secs,
+                            compute_secs: a.compute_secs,
+                        };
+                        let cb = a.done.take().expect("done fires once");
+                        drop(a);
+                        cb(sim, stats);
+                    }
+                }
+            };
+            if spec.output_bytes <= 0.0 || spec.output == ClusterOutput::None {
+                sim.schedule_now(finish);
+            } else if spec.output == ClusterOutput::Wan {
+                let s = store.clone().expect("store checked above");
+                s.write(
+                    sim,
+                    spec.output_bytes,
+                    spec.io_requests,
+                    Some(cluster.cfg.instance.wan_bps),
+                    move |sim, _| finish(sim),
+                );
+            } else {
+                cluster.subs[spec.subcluster].fabric_link.start_transfer(
+                    sim,
+                    spec.output_bytes,
+                    Some(cluster.cfg.instance.node_nic_bps),
+                    finish,
+                );
+            }
+        });
     }
 }
 
@@ -763,5 +987,101 @@ mod tests {
         let mut spec = ClusterTaskSpec::new("t", 1, 1.0);
         spec.input = ClusterInput::Wan;
         run(&c, spec);
+    }
+
+    #[test]
+    fn preempt_flat_maps_onto_the_subcluster_split() {
+        let meter = CostMeter::new();
+        let c = VmCluster::new(
+            ClusterConfig::new(InstanceType::r5_large(), 4).with_subclusters(2),
+            meter,
+            &SeedSource::new(7),
+        );
+        c.enable_spot(Vec::new());
+        // Flat index 3 lands on (sub 1, node 1) under a 2+2 split; an
+        // out-of-range index wraps (5 % 4 = 1 -> sub 0, node 1).
+        c.preempt_flat(SimTime::from_secs(1.0), 3, 0);
+        c.preempt_flat(SimTime::from_secs(2.0), 5, 1);
+        assert_eq!(c.surviving_nodes(), 2);
+        assert_eq!(c.preempted_at(1, 1), Some((SimTime::from_secs(1.0), 0)));
+        assert_eq!(c.preempted_at(0, 1), Some((SimTime::from_secs(2.0), 1)));
+    }
+
+    #[test]
+    fn preemption_spares_each_subclusters_last_survivor() {
+        let (c, _) = cluster(2);
+        c.enable_spot(Vec::new());
+        c.preempt_node(SimTime::from_secs(1.0), 0, 0, 0);
+        // Reclaiming the last survivor is a silent no-op (liveness), as is
+        // reclaiming an already-reclaimed node.
+        c.preempt_node(SimTime::from_secs(2.0), 0, 1, 1);
+        c.preempt_node(SimTime::from_secs(3.0), 0, 0, 2);
+        assert_eq!(c.surviving_nodes(), 1);
+        assert_eq!(c.resolve_node(0, 0), 1);
+        assert_eq!(c.resolve_node(0, 1), 1);
+    }
+
+    #[test]
+    fn preemption_without_spot_pools_is_a_no_op() {
+        let (c, _) = cluster(2);
+        c.preempt_node(SimTime::from_secs(1.0), 0, 0, 0);
+        assert_eq!(c.surviving_nodes(), 2);
+        assert_eq!(c.resolve_node(0, 0), 0);
+    }
+
+    #[test]
+    fn mid_compute_preemption_retries_on_a_survivor() {
+        // 2 comps of 10 s, one per node; node 0 is reclaimed at t=5, so its
+        // comp's first attempt is lost and it re-runs on node 1: 10 s wasted
+        // + 10 s retry -> makespan 20 s, 30 s of compute across attempts.
+        let (c, _) = cluster(2);
+        c.enable_spot(Vec::new());
+        let mut sim = Simulation::new();
+        let out = shared(None);
+        let o2 = out.clone();
+        let c2 = c.clone();
+        sim.schedule_now(move |sim| {
+            c2.run_task(
+                sim,
+                None,
+                ClusterTaskSpec::new("t", 2, 10.0),
+                move |_, stats| {
+                    *o2.borrow_mut() = Some(stats);
+                },
+            );
+        });
+        let c3 = c.clone();
+        sim.schedule_at(SimTime::from_secs(5.0), move |sim| {
+            c3.preempt_node(sim.now(), 0, 0, 0);
+        });
+        sim.run();
+        let stats = out.borrow_mut().take().expect("task completed");
+        assert!((stats.makespan().as_secs() - 20.0).abs() < 1e-9);
+        assert!((stats.compute_secs - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_billing_integrates_price_segments_per_node() {
+        let (c, meter) = cluster(2);
+        c.enable_spot(vec![(0.0, 0.12), (1800.0, 0.06)]);
+        c.start_billing(SimTime::ZERO);
+        c.preempt_node(SimTime::from_secs(1800.0), 0, 0, 0);
+        c.stop_billing(SimTime::from_secs(3600.0));
+        // Node 0: 1800 s at $0.12/h = $0.06. Node 1: 1800 s at $0.12/h +
+        // 1800 s at $0.06/h = $0.09.
+        let e = meter.expense(0.0);
+        assert!((e.vm_dollars - 0.15).abs() < 1e-9, "{}", e.vm_dollars);
+        assert_eq!(c.billed_node_seconds(), 1800.0 + 3600.0);
+    }
+
+    #[test]
+    fn spot_billing_without_a_trace_matches_on_demand() {
+        let (c, meter) = cluster(4);
+        c.enable_spot(Vec::new());
+        c.start_billing(SimTime::ZERO);
+        c.stop_billing(SimTime::from_secs(3600.0));
+        let e = meter.expense(0.0);
+        assert!((e.vm_dollars - 0.48).abs() < 1e-9);
+        assert_eq!(c.billed_node_seconds(), 4.0 * 3600.0);
     }
 }

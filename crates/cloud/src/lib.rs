@@ -26,6 +26,7 @@ mod cluster;
 mod cost;
 mod exec;
 mod faas;
+pub mod fault;
 pub mod pricing;
 mod storage;
 
@@ -35,5 +36,6 @@ pub use cluster::{
 pub use cost::{CostMeter, Expense};
 pub use exec::{run_task_on_faas, FaasRunStats, FaasTaskSpec};
 pub use faas::{FaasPlatform, Invocation, InvocationId};
+pub use fault::{Fault, FaultPlan, FaultProfile, StoreFault};
 pub use pricing::{FaasConfig, InstanceType, ProviderPreset, StorageConfig};
 pub use storage::ObjectStore;

@@ -20,12 +20,20 @@
 //! attempt retries from a replica after an extra round trip.
 
 use crate::cost::CostMeter;
+use crate::fault::StoreFault;
 use crate::pricing::StorageConfig;
 use mashup_sim::trace::{TraceEvent, Tracer};
 use mashup_sim::{shared, Shared};
 use mashup_sim::{SeedSource, SharedLink, SimDuration, SimTime, Simulation};
 use rand::Rng;
 use std::collections::BTreeMap;
+
+/// Chaos fault machinery: active windows plus a dedicated RNG stream, so
+/// injected error draws never perturb the store's native failure stream.
+struct StoreChaos {
+    active: BTreeMap<u64, StoreFault>,
+    rng: rand::rngs::StdRng,
+}
 
 struct StoreState {
     objects: BTreeMap<String, (f64, SimTime)>, // bytes, put time (ordered for deterministic settlement)
@@ -35,6 +43,7 @@ struct StoreState {
     writes: u64,
     injected_failures: u64,
     tracer: Tracer,
+    chaos: Option<StoreChaos>,
 }
 
 /// A shareable S3-like object store. Cloning shares the same store.
@@ -63,8 +72,71 @@ impl ObjectStore {
                 writes: 0,
                 injected_failures: 0,
                 tracer: Tracer::off(),
+                chaos: None,
             }),
         }
+    }
+
+    /// Arms the chaos machinery with its own RNG stream derived from a
+    /// fault-plan seed. Idempotent; without this call (the default) the
+    /// chaos path costs one shared-state read per operation and changes
+    /// nothing.
+    pub fn enable_chaos(&self, seed: u64) {
+        let mut s = self.state.borrow_mut();
+        if s.chaos.is_none() {
+            s.chaos = Some(StoreChaos {
+                active: BTreeMap::new(),
+                rng: SeedSource::new(seed).stream("chaos-store"),
+            });
+        }
+    }
+
+    /// Activates an injected fault window (requires [`enable_chaos`]
+    /// first). Emits a `FaultInjected` record so retries can chain to it.
+    ///
+    /// [`enable_chaos`]: ObjectStore::enable_chaos
+    pub fn apply_fault(&self, now: SimTime, id: u64, fault: StoreFault, until_secs: f64) {
+        let mut s = self.state.borrow_mut();
+        s.chaos
+            .as_mut()
+            .expect("enable_chaos before apply_fault")
+            .active
+            .insert(id, fault);
+        s.tracer.emit(
+            now,
+            TraceEvent::FaultInjected {
+                id,
+                kind: fault.kind().into(),
+                until_secs,
+                magnitude: fault.magnitude(),
+            },
+        );
+    }
+
+    /// Deactivates an injected fault window.
+    pub fn clear_fault(&self, _now: SimTime, id: u64) {
+        if let Some(chaos) = self.state.borrow_mut().chaos.as_mut() {
+            chaos.active.remove(&id);
+        }
+    }
+
+    /// Snapshot of the active chaos windows (empty when chaos is off).
+    fn active_faults(&self) -> Vec<(u64, StoreFault)> {
+        let s = self.state.borrow();
+        s.chaos.as_ref().map_or_else(Vec::new, |c| {
+            c.active.iter().map(|(k, v)| (*k, *v)).collect()
+        })
+    }
+
+    /// One draw from the chaos RNG stream.
+    fn chaos_draw(&self) -> f64 {
+        self.state
+            .borrow_mut()
+            .chaos
+            .as_mut()
+            .expect("chaos active")
+            .rng
+            .gen::<f64>()
     }
 
     /// Attaches a flight recorder; GET/PUT request batches and logical object
@@ -122,6 +194,40 @@ impl ObjectStore {
                 retried = true;
             }
         }
+        // Injected chaos windows: latency spikes stack, degradation caps
+        // the flow, and at most one error window triggers the same
+        // replica-retry path as native failure injection (re-billed, so
+        // the cost oracle's retried-GET doubling stays exact).
+        let mut cap = per_flow_cap;
+        let mut chaos_retry = None;
+        for (id, f) in self.active_faults() {
+            match f {
+                StoreFault::Error { prob } => {
+                    if chaos_retry.is_none() && !retried && self.chaos_draw() < prob {
+                        chaos_retry = Some(id);
+                    }
+                }
+                StoreFault::Latency { extra_secs } => latency += extra_secs,
+                StoreFault::Degrade { factor } => {
+                    let degraded = self.cfg.aggregate_bps * factor;
+                    cap = Some(cap.map_or(degraded, |c| c.min(degraded)));
+                }
+            }
+        }
+        if let Some(id) = chaos_retry {
+            self.state.borrow_mut().injected_failures += 1;
+            self.meter
+                .charge_storage_requests(requests, self.cfg.price_per_get);
+            latency += 2.0 * self.cfg.request_latency_secs;
+            retried = true;
+            self.tracer().emit(
+                begin,
+                TraceEvent::FaultRetry {
+                    id,
+                    op: "get".into(),
+                },
+            );
+        }
         self.tracer().emit(
             begin,
             TraceEvent::StoreGet {
@@ -132,7 +238,7 @@ impl ObjectStore {
         );
         let link = self.link.clone();
         sim.schedule_in(SimDuration::from_secs(latency), move |sim| {
-            link.start_transfer(sim, bytes, per_flow_cap, move |sim| {
+            link.start_transfer(sim, bytes, cap, move |sim| {
                 on_done(sim, sim.now().since(begin));
             });
         });
@@ -155,6 +261,37 @@ impl ObjectStore {
         }
         self.meter
             .charge_storage_requests(requests * self.cfg.replicas as u64, self.cfg.price_per_put);
+        // Injected chaos windows. A failed PUT is retried against the same
+        // replica set after an extra round trip; providers do not bill the
+        // failed attempt, so only latency is added here.
+        let mut latency = self.cfg.request_latency_secs;
+        let mut cap = per_flow_cap;
+        let mut chaos_retry = None;
+        for (id, f) in self.active_faults() {
+            match f {
+                StoreFault::Error { prob } => {
+                    if chaos_retry.is_none() && self.chaos_draw() < prob {
+                        chaos_retry = Some(id);
+                    }
+                }
+                StoreFault::Latency { extra_secs } => latency += extra_secs,
+                StoreFault::Degrade { factor } => {
+                    let degraded = self.cfg.aggregate_bps * factor;
+                    cap = Some(cap.map_or(degraded, |c| c.min(degraded)));
+                }
+            }
+        }
+        if let Some(id) = chaos_retry {
+            self.state.borrow_mut().injected_failures += 1;
+            latency += 2.0 * self.cfg.request_latency_secs;
+            self.tracer().emit(
+                begin,
+                TraceEvent::FaultRetry {
+                    id,
+                    op: "put".into(),
+                },
+            );
+        }
         self.tracer().emit(
             begin,
             TraceEvent::StorePut {
@@ -164,9 +301,9 @@ impl ObjectStore {
             },
         );
         let link = self.link.clone();
-        let latency = SimDuration::from_secs(self.cfg.request_latency_secs);
+        let latency = SimDuration::from_secs(latency);
         sim.schedule_in(latency, move |sim| {
-            link.start_transfer(sim, bytes, per_flow_cap, move |sim| {
+            link.start_transfer(sim, bytes, cap, move |sim| {
                 on_done(sim, sim.now().since(begin));
             });
         });
@@ -388,5 +525,65 @@ mod tests {
         assert_eq!(s.injected_failures(), 1);
         // Both the failed and the replica GET are charged.
         assert_eq!(s.read_requests(), 1);
+    }
+
+    #[test]
+    fn chaos_error_window_retries_gets_from_a_replica() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.request_latency_secs = 1.0;
+        cfg.aggregate_bps = 1e9;
+        let (s, _) = store(cfg);
+        s.enable_chaos(7);
+        s.apply_fault(SimTime::ZERO, 0, StoreFault::Error { prob: 1.0 }, 100.0);
+        let mut sim = Simulation::new();
+        let s2 = s.clone();
+        let end = shared(0.0);
+        let e2 = end.clone();
+        sim.schedule_now(move |sim| {
+            s2.read(sim, 0.0, 1, None, move |sim, _| e2.set(sim.now().as_secs()));
+        });
+        sim.run();
+        assert!((end.get() - 3.0).abs() < 1e-9);
+        assert_eq!(s.injected_failures(), 1);
+        // Cleared windows stop firing.
+        s.clear_fault(SimTime::from_secs(3.0), 0);
+        let mut sim = Simulation::new();
+        let s2 = s.clone();
+        let end2 = shared(0.0);
+        let e2 = end2.clone();
+        sim.schedule_now(move |sim| {
+            s2.read(sim, 0.0, 1, None, move |sim, _| e2.set(sim.now().as_secs()));
+        });
+        sim.run();
+        assert!((end2.get() - 1.0).abs() < 1e-9);
+        assert_eq!(s.injected_failures(), 1);
+    }
+
+    #[test]
+    fn chaos_latency_and_degrade_windows_slow_operations() {
+        let mut cfg = StorageConfig::s3_like();
+        cfg.request_latency_secs = 1.0;
+        cfg.aggregate_bps = 100.0;
+        let (s, _) = store(cfg);
+        s.enable_chaos(7);
+        s.apply_fault(
+            SimTime::ZERO,
+            0,
+            StoreFault::Latency { extra_secs: 2.0 },
+            100.0,
+        );
+        s.apply_fault(SimTime::ZERO, 1, StoreFault::Degrade { factor: 0.5 }, 100.0);
+        let mut sim = Simulation::new();
+        let s2 = s.clone();
+        let end = shared(0.0);
+        let e2 = end.clone();
+        sim.schedule_now(move |sim| {
+            s2.write(sim, 100.0, 1, None, move |sim, _| {
+                e2.set(sim.now().as_secs())
+            });
+        });
+        sim.run();
+        // 1 s base + 2 s spike, then 100 bytes at the degraded 50 B/s.
+        assert!((end.get() - 5.0).abs() < 1e-9, "{}", end.get());
     }
 }

@@ -1,0 +1,112 @@
+//! Chaos configuration: a seeded fault schedule plus the online
+//! replanning controller's switches.
+//!
+//! A [`ChaosSpec`] attaches to [`MashupConfig`](crate::MashupConfig) and is
+//! consumed by the executor: the [`FaultPlan`] is installed into the run's
+//! environment (spot pools, storage fault windows), and — when `adaptive`
+//! is on — the executor's phase-boundary controller watches the flight
+//! recorder's view of the run (surviving capacity, per-phase elapsed time
+//! against the plan's envelope) and invokes
+//! [`Pdc::replan_capacity`](crate::Pdc::replan_capacity) to re-place the
+//! remaining subgraph.
+//!
+//! Determinism: the spec carries no hidden state — every fault comes from
+//! the seeded plan, and the controller draws no randomness of its own — so
+//! a chaos run is exactly as reproducible as a fault-free one. `None`
+//! chaos (or an [empty](FaultPlan::empty) plan with the controller off) is
+//! guaranteed zero-impact: no extra events, no extra RNG draws, byte-
+//! identical traces.
+
+use mashup_cloud::{FaultPlan, FaultProfile};
+use serde::{Deserialize, Serialize};
+
+/// Chaos configuration for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// The deterministic fault schedule to install into the environment.
+    pub plan: FaultPlan,
+    /// Run the online replanning controller. Off = the static plan rides
+    /// out the faults (the paper's baseline behaviour under chaos).
+    pub adaptive: bool,
+    /// Straggler threshold: a finished phase whose elapsed time exceeds
+    /// this factor times its planned envelope triggers a replan. `0.0`
+    /// disables straggler detection (capacity loss still triggers).
+    pub straggler_factor: f64,
+}
+
+impl ChaosSpec {
+    /// A spec that installs `plan` with the controller off.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosSpec {
+            plan,
+            adaptive: false,
+            straggler_factor: 0.0,
+        }
+    }
+
+    /// Generates a spec from a seed and fault profile for a cluster of
+    /// `nodes` nodes (see [`FaultPlan::generate`]); controller off.
+    pub fn generated(seed: u64, profile: &FaultProfile, nodes: usize, price_per_hour: f64) -> Self {
+        Self::new(FaultPlan::generate(seed, profile, nodes, price_per_hour))
+    }
+
+    /// Builder-style: turns the online replanning controller on.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Builder-style: enables straggler detection at `factor` times the
+    /// planned per-phase envelope (values below 1.0 are meaningless and
+    /// treated as disabled).
+    pub fn with_straggler_factor(mut self, factor: f64) -> Self {
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// True when installing this spec changes nothing about a run: no
+    /// faults scheduled and the controller off.
+    pub fn is_inert(&self) -> bool {
+        self.plan.is_empty() && !self.adaptive
+    }
+
+    /// Straggler detection active?
+    pub fn detects_stragglers(&self) -> bool {
+        self.straggler_factor >= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inertness_and_builders() {
+        let spec = ChaosSpec::new(FaultPlan::empty(7));
+        assert!(spec.is_inert());
+        assert!(!spec.detects_stragglers());
+        let spec = spec.with_adaptive(true).with_straggler_factor(2.0);
+        assert!(!spec.is_inert());
+        assert!(spec.detects_stragglers());
+        assert_eq!(spec.plan.seed, 7);
+    }
+
+    #[test]
+    fn generated_spec_carries_the_seeded_plan() {
+        let profile = FaultProfile::preemption(100.0);
+        let a = ChaosSpec::generated(11, &profile, 8, 0.12);
+        let b = ChaosSpec::generated(11, &profile, 8, 0.12);
+        assert_eq!(a, b);
+        assert!(a.plan.has_preemptions());
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        let spec = ChaosSpec::generated(3, &FaultProfile::mixed(50.0), 4, 0.12)
+            .with_adaptive(true)
+            .with_straggler_factor(3.0);
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: ChaosSpec = serde_json::from_str(&json).expect("parse");
+        assert_eq!(spec, back);
+    }
+}

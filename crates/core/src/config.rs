@@ -46,6 +46,13 @@ pub struct MashupConfig {
     /// placed on the VM cluster unless the recurring-task exception applies
     /// (paper: 1 s).
     pub short_task_threshold_secs: f64,
+    /// Chaos schedule + online controller switches. `None` (the default)
+    /// is guaranteed zero-impact: no faults, no controller, byte-identical
+    /// runs. Excluded from every plan-cache key (keys fingerprint the
+    /// cluster/provider sub-configs), and stripped by [`crate::Pdc::new`]
+    /// so profiling environments never see faults.
+    #[serde(default)]
+    pub chaos: Option<crate::chaos::ChaosSpec>,
 }
 
 impl MashupConfig {
@@ -61,6 +68,7 @@ impl MashupConfig {
             prewarm_cap: 256,
             conservative_cold_start_secs: 2.0,
             short_task_threshold_secs: 1.0,
+            chaos: None,
         }
     }
 
@@ -94,6 +102,12 @@ impl MashupConfig {
     /// Builder-style: splits the cluster into `k` sub-clusters.
     pub fn with_subclusters(mut self, k: usize) -> Self {
         self.cluster = self.cluster.with_subclusters(k);
+        self
+    }
+
+    /// Builder-style: attaches a chaos spec (fault schedule + controller).
+    pub fn with_chaos(mut self, chaos: crate::chaos::ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 

@@ -15,7 +15,9 @@
 //!   phase runs (§3's prefetching mitigation);
 //! * the cluster bills node time for the whole run iff the plan uses it.
 
+use crate::chaos::ChaosSpec;
 use crate::config::{tier_key, CloudEnv, MashupConfig, Sizing};
+use crate::pdc::{Pdc, PdcReport};
 use crate::placement::{PlacementPlan, Platform};
 use crate::report::{TaskReport, WorkflowReport};
 use mashup_analyze::{AnalysisError, Code, Diagnostic, Location};
@@ -84,6 +86,28 @@ struct Driver {
     reports: Vec<TaskReport>,
     remaining_in_phase: usize,
     finished_at: Option<SimTime>,
+    /// Online replanning controller; `None` unless the config's chaos spec
+    /// turns `adaptive` on.
+    chaos: Option<ChaosCtx>,
+}
+
+/// Phase-boundary replanning state. The controller consumes only the flight
+/// recorder's view of the run — surviving spot capacity and per-phase
+/// elapsed time — draws no randomness, and emits nothing until a trigger
+/// fires, so an adaptive run over a fault-free environment replays the
+/// static run byte-for-byte.
+struct ChaosCtx {
+    spec: ChaosSpec,
+    /// Node capacity the active plan assumes; updated after each replan.
+    planned_nodes: usize,
+    /// Baseline PDC report for [`Pdc::replan_capacity`], computed on first
+    /// trigger (a full `decide` over the chaos-stripped config in its own
+    /// profiling environments — invisible to the production run's streams).
+    baseline: Option<PdcReport>,
+    /// When the currently-running phase started.
+    phase_started: SimTime,
+    /// Store keys already migrated master -> store by earlier replans.
+    uploaded: std::collections::BTreeSet<String>,
 }
 
 impl Driver {
@@ -329,6 +353,14 @@ fn execute_in_unchecked(
 ) -> WorkflowReport {
     let locations = output_locations(workflow, plan);
 
+    // Install the seeded fault schedule before billing starts: spot pools
+    // must wrap the whole billing window for piecewise settlement.
+    if let Some(chaos) = cfg.chaos.as_ref() {
+        if !chaos.plan.is_empty() {
+            chaos.plan.install(&mut env.sim, &env.cluster, &env.store);
+        }
+    }
+
     if plan.uses_cluster() {
         env.cluster.start_billing(env.sim.now());
     }
@@ -359,6 +391,13 @@ fn execute_in_unchecked(
         reports: Vec::new(),
         remaining_in_phase: 0,
         finished_at: None,
+        chaos: cfg.chaos.as_ref().filter(|c| c.adaptive).map(|c| ChaosCtx {
+            spec: c.clone(),
+            planned_nodes: cfg.cluster.nodes,
+            baseline: None,
+            phase_started: SimTime::ZERO,
+            uploaded: std::collections::BTreeSet::new(),
+        }),
     });
 
     let d2 = driver.clone();
@@ -369,7 +408,11 @@ fn execute_in_unchecked(
         .borrow()
         .finished_at
         .expect("workflow execution completed");
-    if plan.uses_cluster() {
+    // A replan can add or shed cluster usage mid-run; billing must close if
+    // it was ever opened, and the report carries the plan that actually ran.
+    let final_plan = driver.borrow().plan.clone();
+    let used_cluster = plan.uses_cluster() || final_plan.uses_cluster();
+    if used_cluster {
         env.cluster.stop_billing(finished_at);
     }
     env.store.finalize(finished_at);
@@ -378,14 +421,10 @@ fn execute_in_unchecked(
     WorkflowReport {
         workflow: workflow.name.clone(),
         strategy: strategy.into(),
-        cluster_nodes: if plan.uses_cluster() {
-            cfg.cluster.nodes
-        } else {
-            0
-        },
+        cluster_nodes: if used_cluster { cfg.cluster.nodes } else { 0 },
         makespan_secs: finished_at.as_secs(),
         expense: env.meter.expense(cfg.provider.storage.price_per_gb_month),
-        plan: plan.clone(),
+        plan: final_plan,
         tasks: d.reports.clone(),
     }
 }
@@ -404,7 +443,13 @@ fn run_phase(sim: &mut Simulation, driver: Shared<Driver>, phase_idx: usize) {
         driver.borrow_mut().finished_at = Some(sim.now());
         return;
     }
-    driver.borrow_mut().remaining_in_phase = n_tasks;
+    {
+        let mut d = driver.borrow_mut();
+        d.remaining_in_phase = n_tasks;
+        if let Some(ctx) = d.chaos.as_mut() {
+            ctx.phase_started = sim.now();
+        }
+    }
     driver.borrow().tracer.emit(
         sim.now(),
         TraceEvent::PhaseStart {
@@ -697,7 +742,238 @@ fn finish_task(sim: &mut Simulation, driver: Shared<Driver>, r: TaskRef, report:
         }
     };
     if let Some(p) = next_phase {
-        run_phase(sim, driver, p);
+        advance_phase(sim, driver, p);
+    }
+}
+
+/// Crosses a phase barrier into phase `next`, first giving the chaos
+/// controller (when one is active) a chance to replan the remaining
+/// subgraph. Without a controller this is exactly [`run_phase`]: no extra
+/// borrows linger, no events fire, no randomness is drawn.
+fn advance_phase(sim: &mut Simulation, driver: Shared<Driver>, next: usize) {
+    let trigger = {
+        let d = driver.borrow();
+        match d.chaos.as_ref() {
+            None => None,
+            Some(_) if next >= d.workflow.phases.len() => None,
+            Some(ctx) => {
+                let surviving = d.env_handles.cluster.surviving_nodes();
+                if surviving < ctx.planned_nodes {
+                    Some(("preemption", surviving))
+                } else if ctx.spec.detects_stragglers() {
+                    // Provisional: resolved against the baseline envelope
+                    // below (which may need computing first).
+                    Some(("straggler", surviving))
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    let Some((reason, surviving)) = trigger else {
+        return run_phase(sim, driver, next);
+    };
+    ensure_baseline(&driver);
+    let confirmed = if reason == "preemption" {
+        true
+    } else {
+        let d = driver.borrow();
+        let ctx = d.chaos.as_ref().expect("trigger implies controller");
+        let elapsed = sim.now().saturating_since(ctx.phase_started).as_secs();
+        let envelope = phase_envelope_secs(&d, next - 1);
+        envelope > 0.0 && elapsed > ctx.spec.straggler_factor * envelope
+    };
+    if confirmed {
+        replan_and_run(sim, driver, next, reason, surviving);
+    } else {
+        run_phase(sim, driver, next);
+    }
+}
+
+/// Computes the controller's baseline PDC report on first use. `Pdc::new`
+/// strips the chaos spec, and the decide runs in its own profiling
+/// environments, so the baseline reflects the advertised (fault-free)
+/// platform behaviour and leaves the production run's RNG streams and
+/// trace untouched.
+fn ensure_baseline(driver: &Shared<Driver>) {
+    let needs = driver
+        .borrow()
+        .chaos
+        .as_ref()
+        .is_some_and(|c| c.baseline.is_none());
+    if !needs {
+        return;
+    }
+    let (cfg, workflow) = {
+        let d = driver.borrow();
+        (d.cfg.clone(), d.workflow.clone())
+    };
+    let report = Pdc::new(cfg).decide(&workflow);
+    if let Some(ctx) = driver.borrow_mut().chaos.as_mut() {
+        ctx.baseline = Some(report);
+    }
+}
+
+/// The planned envelope of a finished phase: the longest expected task
+/// duration under the baseline measurements and the *active* plan, with VM
+/// times scaled to the capacity the plan assumes. A phase that ran longer
+/// than `straggler_factor` times this is a straggler.
+fn phase_envelope_secs(d: &Driver, phase_idx: usize) -> f64 {
+    let ctx = d.chaos.as_ref().expect("controller active");
+    let Some(baseline) = ctx.baseline.as_ref() else {
+        return 0.0;
+    };
+    let nodes = d.cfg.cluster.nodes.max(1) as f64;
+    let planned = ctx.planned_nodes.max(1) as f64;
+    let arena = d.workflow.arena();
+    let mut envelope: f64 = 0.0;
+    for ti in 0..d.workflow.phases[phase_idx].tasks.len() {
+        let r = TaskRef::new(phase_idx, ti);
+        let Some(flat) = arena.flat(r) else { continue };
+        let dec = &baseline.decisions[flat];
+        let expected = match d.plan.platform(r) {
+            Ok(Platform::Serverless) if dec.t_serverless_est_secs.is_finite() => {
+                dec.t_serverless_est_secs
+            }
+            _ => {
+                // Same per-node load ratio as `Pdc::replan_capacity`: the
+                // baseline VM time stretches only as far as the task's
+                // components pack more densely onto the assumed capacity.
+                let c = d.workflow.task(r).components as f64;
+                dec.t_vm_secs * (c / planned).max(1.0) / (c / nodes).max(1.0)
+            }
+        };
+        envelope = envelope.max(expected);
+    }
+    envelope
+}
+
+/// Replans phases `next..` against `surviving` nodes, adopts the new
+/// placement, migrates to the store any master-resident outputs the new
+/// placement reads from it, and then starts the phase. Re-placement never
+/// rewrites history: finished phases keep their reports and locations.
+fn replan_and_run(
+    sim: &mut Simulation,
+    driver: Shared<Driver>,
+    next: usize,
+    reason: &'static str,
+    surviving: usize,
+) {
+    let uploads: Vec<(String, f64, u64)> = {
+        let mut d = driver.borrow_mut();
+        let d = &mut *d;
+        let ctx = d.chaos.as_mut().expect("controller active");
+        let baseline = ctx.baseline.as_ref().expect("ensured by advance_phase");
+        let report = Pdc::new(d.cfg.clone()).replan_capacity(baseline, &d.workflow, surviving);
+        let n_phases = d.workflow.phases.len();
+        let mut moved = 0usize;
+        for pi in next..n_phases {
+            for ti in 0..d.workflow.phases[pi].tasks.len() {
+                let r = TaskRef::new(pi, ti);
+                let target = report.plan.platform(r).expect("replan covers workflow");
+                if d.plan.platform(r) != Ok(target) {
+                    moved += 1;
+                }
+            }
+        }
+        d.tracer.emit(
+            sim.now(),
+            TraceEvent::Replan {
+                phase: next,
+                reason: reason.to_string(),
+                nodes_before: ctx.planned_nodes,
+                nodes_after: surviving,
+                moved,
+            },
+        );
+        ctx.planned_nodes = surviving;
+        if moved == 0 {
+            Vec::new()
+        } else {
+            let was_serverless = d.plan.uses_serverless();
+            for pi in next..n_phases {
+                for ti in 0..d.workflow.phases[pi].tasks.len() {
+                    let r = TaskRef::new(pi, ti);
+                    let target = report.plan.platform(r).expect("replan covers workflow");
+                    d.plan.set(r, target);
+                }
+            }
+            // Completed phases keep their historical output locations (the
+            // master copies exist and stay readable over the fabric); only
+            // future rows follow the new placement.
+            let fresh = output_locations(&d.workflow, &d.plan);
+            d.locations[next..n_phases].clone_from_slice(&fresh[next..n_phases]);
+            // A plan that newly reaches a platform needs what the static
+            // setup provisioned at time zero: cluster billing (idempotent)
+            // and the staged initial dataset for store-reading sources.
+            if d.plan.uses_cluster() {
+                d.env_handles.cluster.start_billing(sim.now());
+            }
+            if d.plan.uses_serverless() && !was_serverless {
+                d.env_handles.store.register_object(
+                    sim.now(),
+                    initial_key(&d.workflow.name),
+                    d.workflow.initial_input_bytes,
+                );
+            }
+            // Outputs that finished on a master but are now read by
+            // serverless consumers must migrate into the store first
+            // (master -> store over the WAN, billed PUTs).
+            let mut uploads = Vec::new();
+            for pi in next..n_phases {
+                for ti in 0..d.workflow.phases[pi].tasks.len() {
+                    let r = TaskRef::new(pi, ti);
+                    if d.plan.platform(r) != Ok(Platform::Serverless) {
+                        continue;
+                    }
+                    for dep in &d.workflow.task(r).deps {
+                        let p = dep.producer;
+                        if p.phase >= next {
+                            continue; // not run yet: routed by `locations`
+                        }
+                        if d.locations[p.phase][p.task] == OutputLocation::Store {
+                            continue; // already registered at completion
+                        }
+                        let pt = d.workflow.task(p);
+                        let key = output_key(&pt.name);
+                        if !ctx.uploaded.insert(key.clone()) {
+                            continue; // migrated by an earlier replan
+                        }
+                        uploads.push((
+                            key,
+                            pt.components as f64 * pt.profile.output_bytes,
+                            pt.components as u64,
+                        ));
+                    }
+                }
+            }
+            uploads
+        }
+    };
+    if uploads.is_empty() {
+        return run_phase(sim, driver, next);
+    }
+    let (store, wan_bps) = {
+        let d = driver.borrow();
+        (d.env_handles.store.clone(), d.cfg.cluster.instance.wan_bps)
+    };
+    // Barrier: the phase starts once every migration has landed.
+    let pending = shared(uploads.len());
+    for (key, bytes, requests) in uploads {
+        let store2 = store.clone();
+        let driver2 = driver.clone();
+        let pending2 = pending.clone();
+        store.write(sim, bytes, requests, Some(wan_bps), move |sim, _| {
+            store2.register_object(sim.now(), key, bytes);
+            let remaining = {
+                let mut left = pending2.borrow_mut();
+                *left -= 1;
+                *left
+            };
+            if remaining == 0 {
+                run_phase(sim, driver2, next);
+            }
+        });
     }
 }
 
@@ -809,6 +1085,101 @@ mod tests {
         let b = execute(&cfg(4), &w, &plan, "s");
         assert_eq!(a.makespan_secs, b.makespan_secs);
         assert_eq!(a.expense, b.expense);
+    }
+
+    #[test]
+    fn inert_chaos_spec_replays_the_static_run_byte_for_byte() {
+        use mashup_cloud::FaultPlan;
+        use mashup_sim::Tracer;
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let run = |cfg: &MashupConfig| {
+            let tracer = Tracer::new();
+            let report = execute_traced(cfg, &w, &plan, "t", &tracer);
+            (report, tracer.take())
+        };
+        let (base_report, base_trace) = run(&cfg(4));
+        // Controller on over a fault-free environment: nothing triggers,
+        // nothing diverges — same trace, same report.
+        let adaptive = cfg(4).with_chaos(
+            ChaosSpec::new(FaultPlan::empty(1))
+                .with_adaptive(true)
+                .with_straggler_factor(2.0),
+        );
+        let (a_report, a_trace) = run(&adaptive);
+        assert_eq!(base_report.makespan_secs, a_report.makespan_secs);
+        assert_eq!(base_report.expense, a_report.expense);
+        assert_eq!(format!("{base_trace:?}"), format!("{a_trace:?}"));
+    }
+
+    #[test]
+    fn adaptive_controller_replans_after_preemption() {
+        use mashup_cloud::{Fault, FaultPlan};
+        use mashup_sim::Tracer;
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let mut fp = FaultPlan::empty(3);
+        fp.faults.push(Fault::Preempt {
+            at_secs: 3.0,
+            node: 1,
+        });
+        let chaotic = cfg(4).with_chaos(ChaosSpec::new(fp).with_adaptive(true));
+        let tracer = Tracer::new();
+        let report = execute_traced(&chaotic, &w, &plan, "adaptive", &tracer);
+        let records = tracer.take();
+        assert_eq!(report.tasks.len(), 2);
+        let replan = records
+            .iter()
+            .find_map(|r| match &r.event {
+                TraceEvent::Replan {
+                    reason,
+                    nodes_before,
+                    nodes_after,
+                    ..
+                } => Some((reason.clone(), *nodes_before, *nodes_after)),
+                _ => None,
+            })
+            .expect("capacity loss must trigger a replan");
+        assert_eq!(replan, ("preemption".into(), 4, 3));
+        // The killed components retried and the run still finished in order.
+        assert!(records
+            .iter()
+            .any(|r| matches!(&r.event, TraceEvent::CompRetry { .. })));
+        let wide = report.task("wide").expect("exists");
+        let merge = report.task("merge").expect("exists");
+        assert!(merge.start_secs >= wide.end_secs - 1e-9);
+    }
+
+    #[test]
+    fn straggling_phase_triggers_a_replan() {
+        use mashup_cloud::{Fault, FaultPlan};
+        use mashup_sim::Tracer;
+        let w = two_phase_workflow();
+        let plan = PlacementPlan::uniform(&w, Platform::Serverless);
+        // A storage latency spike covering phase 0 slows every GET far past
+        // the fault-free envelope the baseline predicts.
+        let mut fp = FaultPlan::empty(4);
+        fp.faults.push(Fault::StorageLatency {
+            from_secs: 0.0,
+            until_secs: 1.0e6,
+            extra_secs: 30.0,
+        });
+        let chaotic = cfg(4).with_chaos(
+            ChaosSpec::new(fp)
+                .with_adaptive(true)
+                .with_straggler_factor(1.5),
+        );
+        let tracer = Tracer::new();
+        let report = execute_traced(&chaotic, &w, &plan, "adaptive", &tracer);
+        let records = tracer.take();
+        assert_eq!(report.tasks.len(), 2);
+        assert!(
+            records.iter().any(|r| matches!(
+                &r.event,
+                TraceEvent::Replan { reason, .. } if reason == "straggler"
+            )),
+            "a 30 s/op latency spike must blow the phase envelope"
+        );
     }
 
     #[test]

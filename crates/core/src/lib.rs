@@ -26,6 +26,7 @@
 
 mod analysis;
 mod cache;
+pub mod chaos;
 mod config;
 mod engine;
 mod exec;
@@ -41,6 +42,7 @@ pub use analysis::{engine_params, preflight};
 pub use cache::{
     CacheStats, PhaseProfileEntry, PlanCache, ProbeEntry, SectionStats, VmProfileEntry,
 };
+pub use chaos::ChaosSpec;
 pub use config::{CloudEnv, MashupConfig, Sizing, MEMORY_TIERS_GB};
 pub use engine::{Mashup, MashupOutcome};
 pub use exec::{

@@ -141,7 +141,13 @@ pub struct Pdc {
 
 impl Pdc {
     /// Creates a PDC optimizing execution time (the paper's default).
-    pub fn new(cfg: MashupConfig) -> Self {
+    ///
+    /// Any chaos spec on `cfg` is stripped: profiling and probe
+    /// environments model the provider's *advertised* behaviour, never the
+    /// injected faults (and a plan cache stays shareable across chaos
+    /// scenarios).
+    pub fn new(mut cfg: MashupConfig) -> Self {
+        cfg.chaos = None;
         Pdc {
             cfg,
             objective: Objective::ExecutionTime,
@@ -708,6 +714,78 @@ impl Pdc {
             subclusters: prev.subclusters,
         };
         (report, stats)
+    }
+
+    /// Re-places `workflow` against reduced cluster capacity: `surviving`
+    /// of the configured nodes remain (spot preemption reclaimed the
+    /// rest). No profiling runs — mid-run replanning must stay off the hot
+    /// path — so the previous report's measurements are reused with each
+    /// task's cluster time scaled by its per-node load ratio
+    /// `max(1, C/surviving) / max(1, C/nodes)`: a task wider than the
+    /// cluster packs proportionally more components per surviving node
+    /// (approaching `nodes / surviving`), while a task with fewer
+    /// components than the surviving capacity is unaffected — it never
+    /// waved in the first place. Serverless estimates are
+    /// capacity-independent and ride along unchanged; the decision rules
+    /// then re-run over the scaled times. Structural forcings (memory cap,
+    /// short task) survive verbatim; plan-level boundary taxes are
+    /// stripped and re-derived against the new plan. With
+    /// `surviving == nodes` every scale is 1 and the report comes back
+    /// decision-identical to `prev`.
+    pub fn replan_capacity(
+        &self,
+        prev: &PdcReport,
+        workflow: &Workflow,
+        surviving: usize,
+    ) -> PdcReport {
+        let nodes = self.cfg.cluster.nodes.max(1);
+        let surviving = surviving.clamp(1, nodes);
+        let mut decisions = Vec::with_capacity(prev.decisions.len());
+        let mut plan = PlacementPlan::new();
+        for prev_d in &prev.decisions {
+            let mut d = prev_d.clone();
+            let c = workflow.task(d.task).components as f64;
+            let scale = (c / surviving as f64).max(1.0) / (c / nodes as f64).max(1.0);
+            d.t_vm_secs = prev_d.t_vm_secs * scale;
+            if d.forced_vm_reason
+                .as_deref()
+                .is_some_and(|s| s.starts_with("hybrid boundary tax"))
+            {
+                d.forced_vm_reason = None;
+                d.platform = Platform::Serverless;
+            }
+            if d.forced_vm_reason.is_none() {
+                let t = workflow.task(d.task);
+                let faas_cfg = self.task_faas_cfg(workflow, d.task);
+                d.platform = self.choose(
+                    &prev.factors,
+                    d.t_vm_secs,
+                    d.t_serverless_est_secs,
+                    t.components,
+                    d.probe_busy_secs,
+                    faas_cfg.price_per_hour,
+                );
+            }
+            plan.set(d.task, d.platform);
+            decisions.push(d);
+        }
+        if self.objective == Objective::ExecutionTime {
+            refine_boundary_taxes(
+                workflow,
+                &mut decisions,
+                &mut plan,
+                self.cfg.cluster.instance.wan_bps,
+                self.cfg.cluster.instance.master_nic_bps,
+            );
+        }
+        PdcReport {
+            factors: prev.factors,
+            decisions,
+            plan,
+            profiling_expense: prev.profiling_expense,
+            profiling_vm_makespan_secs: prev.profiling_vm_makespan_secs,
+            subclusters: prev.subclusters,
+        }
     }
 
     /// Runs the full VM profiling passes, one per candidate sub-cluster
@@ -1359,6 +1437,65 @@ mod tests {
         assert_eq!(report.decisions.len(), 1);
         assert_eq!(report.decisions[0].platform, Platform::Serverless);
         assert!(report.plan.covers(&w));
+    }
+
+    #[test]
+    fn replan_capacity_is_identity_at_full_strength_and_monotone_under_loss() {
+        // A borderline task: 96 ten-second components on 4 nodes sit on the
+        // VM side, but halving the cluster doubles the wave count and flips
+        // the comparison toward serverless.
+        let mut b = mashup_dag::WorkflowBuilder::new("replan");
+        b.initial_input_bytes(1e6);
+        b.begin_phase();
+        b.add_task(mashup_dag::Task::new(
+            "border",
+            96,
+            mashup_dag::TaskProfile::trivial().compute(10.0),
+        ));
+        let w = b.build().expect("valid");
+        let pdc = Pdc::new(cfg(4));
+        let base = pdc.decide(&w);
+
+        let same = pdc.replan_capacity(&base, &w, 4);
+        for (a, b) in base.decisions.iter().zip(&same.decisions) {
+            assert_eq!(a.platform, b.platform);
+            assert!((a.t_vm_secs - b.t_vm_secs).abs() < 1e-12);
+        }
+
+        let reduced = pdc.replan_capacity(&base, &w, 1);
+        assert!(reduced.plan.covers(&w));
+        let quadrupled = base.decisions[0].t_vm_secs * 4.0;
+        assert!((reduced.decisions[0].t_vm_secs - quadrupled).abs() < 1e-9);
+        // Cluster times only grow under capacity loss, so no task moves
+        // store-ward: every VM placement in `reduced` was VM in `base`.
+        for (a, b) in base.decisions.iter().zip(&reduced.decisions) {
+            if b.platform == Platform::VmCluster && b.forced_vm_reason.is_none() {
+                assert_eq!(a.platform, Platform::VmCluster);
+            }
+        }
+    }
+
+    #[test]
+    fn replan_capacity_preserves_structural_forcings() {
+        let mut b = mashup_dag::WorkflowBuilder::new("fat-replan");
+        b.initial_input_bytes(1e6);
+        b.begin_phase();
+        b.add_task(mashup_dag::Task::new(
+            "fat",
+            64,
+            mashup_dag::TaskProfile::trivial()
+                .compute(10.0)
+                .memory(16.0),
+        ));
+        let w = b.build().expect("valid");
+        let pdc = Pdc::new(cfg(4));
+        let base = pdc.decide(&w);
+        assert!(base.decisions[0].forced_vm_reason.is_some());
+        // Even at one surviving node, a task that cannot fit in function
+        // memory stays on the cluster.
+        let reduced = pdc.replan_capacity(&base, &w, 1);
+        assert_eq!(reduced.decisions[0].platform, Platform::VmCluster);
+        assert!(reduced.decisions[0].forced_vm_reason.is_some());
     }
 
     #[test]

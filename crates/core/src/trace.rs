@@ -19,8 +19,15 @@
 //! * [`WARM_START`] — an invocation recorded as warm must be explainable by
 //!   a live warm-pool entry (an earlier completion within the keep-alive
 //!   window, or a pre-warmed microVM), mirroring the platform's LIFO pool;
-//! * [`COST`] — GB-seconds, VM node-seconds, and storage charges recomputed
-//!   from the trace reconcile with the report's expense to within 1e-9.
+//! * [`COST`] — GB-seconds, VM node-seconds (including per-node spot
+//!   settlements), and storage charges recomputed from the trace reconcile
+//!   with the report's expense to within 1e-9;
+//! * [`REPLAN`] — every replan is sized to exactly the capacity surviving
+//!   the preemptions recorded so far, and no component starts (or retries
+//!   onto) a node after its spot reclaim;
+//! * [`FAULT_ATTRIB`] — every retry chains to an injected cause: a compute
+//!   retry to an earlier spot preemption with the same fault id, a storage
+//!   retry to an earlier fault-window activation with the same fault id.
 //!
 //! The oracle is pure: it never touches a simulation, so it can check
 //! golden traces from disk as easily as freshly recorded ones.
@@ -42,6 +49,11 @@ pub const CKPT_WINDOW: &str = "T-CKPT-WINDOW";
 pub const WARM_START: &str = "T-WARM-START";
 /// Expense recomputed from the trace diverged from the report.
 pub const COST: &str = "T-COST";
+/// A replan's capacity diverged from the surviving nodes, or work landed on
+/// a reclaimed node.
+pub const REPLAN: &str = "T-REPLAN";
+/// A retry or migration had no injected fault to explain it.
+pub const FAULT_ATTRIB: &str = "T-FAULT-ATTRIB";
 
 const EPS: f64 = 1e-9;
 
@@ -79,6 +91,8 @@ pub fn check(
     check_ckpt_window(records, &mut out);
     check_warm_start(cfg, records, &mut out);
     check_cost(cfg, report, records, &mut out);
+    check_replan(cfg, records, &mut out);
+    check_fault_attrib(records, &mut out);
     out
 }
 
@@ -404,6 +418,9 @@ fn check_cost(
             TraceEvent::BillingStop { node_seconds } => {
                 vm_dollars += node_seconds / 3600.0 * vm_price;
             }
+            TraceEvent::SpotBill { dollars, .. } => {
+                vm_dollars += dollars;
+            }
             TraceEvent::StoreGet {
                 requests, retried, ..
             } => {
@@ -450,6 +467,103 @@ fn check_cost(
                      reconcile with the report ({reported})"
                 ),
             });
+        }
+    }
+}
+
+/// Replans must be consistent with surviving capacity: every `Replan`
+/// record's `nodes_after` equals the configured node count minus the spot
+/// preemptions recorded before it, and once a node is reclaimed no later
+/// component starts — or retries onto — it.
+fn check_replan(cfg: &MashupConfig, records: &[TraceRecord], out: &mut Vec<Violation>) {
+    let nodes = cfg.cluster.nodes;
+    let mut preempted: std::collections::BTreeSet<(usize, usize)> = Default::default();
+    for r in records {
+        match &r.event {
+            TraceEvent::SpotPreempt { sub, node, .. } => {
+                preempted.insert((*sub, *node));
+            }
+            TraceEvent::Replan {
+                nodes_after, phase, ..
+            } => {
+                let surviving = nodes - preempted.len().min(nodes);
+                if *nodes_after != surviving {
+                    out.push(Violation {
+                        code: REPLAN,
+                        seq: r.seq,
+                        detail: format!(
+                            "replan at phase {phase} sized for {nodes_after} nodes but \
+                             {} of {nodes} were reclaimed ({surviving} survive)",
+                            preempted.len()
+                        ),
+                    });
+                }
+            }
+            TraceEvent::VmCompStart {
+                task, sub, node, ..
+            } if preempted.contains(&(*sub, *node)) => {
+                out.push(Violation {
+                    code: REPLAN,
+                    seq: r.seq,
+                    detail: format!(
+                        "'{task}' started a component on sub {sub} node {node} after \
+                         that node was reclaimed"
+                    ),
+                });
+            }
+            TraceEvent::CompRetry {
+                task, sub, node, ..
+            } if preempted.contains(&(*sub, *node)) => {
+                out.push(Violation {
+                    code: REPLAN,
+                    seq: r.seq,
+                    detail: format!(
+                        "'{task}' retried onto sub {sub} node {node}, which was \
+                         already reclaimed"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every retry must chain to an injected cause that precedes it in the
+/// trace: a `CompRetry` to a `SpotPreempt` with the same fault id, a
+/// `FaultRetry` to a `FaultInjected` with the same fault id. An unexplained
+/// retry means the platforms did recovery work no fault asked for.
+fn check_fault_attrib(records: &[TraceRecord], out: &mut Vec<Violation>) {
+    let mut preempt_ids: std::collections::BTreeSet<u64> = Default::default();
+    let mut injected_ids: std::collections::BTreeSet<u64> = Default::default();
+    for r in records {
+        match &r.event {
+            TraceEvent::SpotPreempt { id, .. } => {
+                preempt_ids.insert(*id);
+            }
+            TraceEvent::FaultInjected { id, .. } => {
+                injected_ids.insert(*id);
+            }
+            TraceEvent::CompRetry { id, task, .. } if !preempt_ids.contains(id) => {
+                out.push(Violation {
+                    code: FAULT_ATTRIB,
+                    seq: r.seq,
+                    detail: format!(
+                        "'{task}' retried citing fault {id}, but no preemption \
+                         with that id precedes it"
+                    ),
+                });
+            }
+            TraceEvent::FaultRetry { id, op } if !injected_ids.contains(id) => {
+                out.push(Violation {
+                    code: FAULT_ATTRIB,
+                    seq: r.seq,
+                    detail: format!(
+                        "a storage {op} retried citing fault {id}, but no fault \
+                         window with that id was activated before it"
+                    ),
+                });
+            }
+            _ => {}
         }
     }
 }
@@ -568,6 +682,103 @@ mod tests {
         }
         let v = check(&cfg, &w, &report, &records);
         assert!(v.iter().any(|v| v.code == WARM_START), "{v:?}");
+    }
+
+    /// An all-VM run under a single scheduled preemption with the adaptive
+    /// controller on: exercises retries, spot billing, and a replan.
+    fn traced_chaos() -> (MashupConfig, Workflow, WorkflowReport, Vec<TraceRecord>) {
+        let mut cfg = MashupConfig::aws(4);
+        let mut plan = mashup_cloud::FaultPlan::empty(5);
+        plan.faults.push(mashup_cloud::Fault::Preempt {
+            at_secs: 3.0,
+            node: 1,
+        });
+        cfg.chaos = Some(crate::chaos::ChaosSpec::new(plan).with_adaptive(true));
+        let w = wf();
+        let plan = PlacementPlan::uniform(&w, Platform::VmCluster);
+        let tracer = Tracer::new();
+        let report = execute_traced(&cfg, &w, &plan, "test", &tracer);
+        (cfg, w, report, tracer.take())
+    }
+
+    #[test]
+    fn clean_chaos_run_has_no_violations() {
+        let (cfg, w, report, records) = traced_chaos();
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(&r.event, TraceEvent::SpotPreempt { .. })),
+            "the scheduled preemption must appear in the trace"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| matches!(&r.event, TraceEvent::Replan { .. })),
+            "capacity loss must trigger a replan at the phase boundary"
+        );
+        let v = check(&cfg, &w, &report, &records);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn oversized_replan_is_a_replan_violation() {
+        let (cfg, w, report, mut records) = traced_chaos();
+        let r = records
+            .iter_mut()
+            .find(|r| matches!(&r.event, TraceEvent::Replan { .. }))
+            .expect("a replan was recorded");
+        if let TraceEvent::Replan { nodes_after, .. } = &mut r.event {
+            *nodes_after += 1; // claims capacity the preemption removed
+        }
+        let v = check(&cfg, &w, &report, &records);
+        assert!(v.iter().any(|v| v.code == REPLAN), "{v:?}");
+    }
+
+    #[test]
+    fn retry_on_a_reclaimed_node_is_a_replan_violation() {
+        let (cfg, w, report, mut records) = traced_chaos();
+        let reclaimed = records
+            .iter()
+            .find_map(|r| match &r.event {
+                TraceEvent::SpotPreempt { sub, node, .. } => Some((*sub, *node)),
+                _ => None,
+            })
+            .expect("a preemption was recorded");
+        let r = records
+            .iter_mut()
+            .find(|r| matches!(&r.event, TraceEvent::CompRetry { .. }))
+            .expect("the preemption forced retries");
+        if let TraceEvent::CompRetry { sub, node, .. } = &mut r.event {
+            (*sub, *node) = reclaimed;
+        }
+        let v = check(&cfg, &w, &report, &records);
+        assert!(v.iter().any(|v| v.code == REPLAN), "{v:?}");
+    }
+
+    #[test]
+    fn unattributed_retries_are_fault_attrib_violations() {
+        let (cfg, w, report, mut records) = traced_chaos();
+        // Point a real retry at a fault id that was never injected.
+        let r = records
+            .iter_mut()
+            .find(|r| matches!(&r.event, TraceEvent::CompRetry { .. }))
+            .expect("the preemption forced retries");
+        if let TraceEvent::CompRetry { id, .. } = &mut r.event {
+            *id += 40;
+        }
+        // And append a storage retry with no fault window behind it.
+        let last = records.last().expect("nonempty trace");
+        records.push(TraceRecord {
+            seq: last.seq + 1,
+            t_secs: last.t_secs,
+            event: TraceEvent::FaultRetry {
+                id: 7,
+                op: "get".into(),
+            },
+        });
+        let v = check(&cfg, &w, &report, &records);
+        let hits = v.iter().filter(|v| v.code == FAULT_ATTRIB).count();
+        assert_eq!(hits, 2, "{v:?}");
     }
 
     #[test]

@@ -279,6 +279,69 @@ pub enum TraceEvent {
         /// True when the stage was a cache hit.
         hit: bool,
     },
+    /// A spot VM node was reclaimed by the provider (seeded fault plan).
+    SpotPreempt {
+        /// Fault id within the plan (retries chain to this).
+        id: u64,
+        /// Sub-cluster index of the reclaimed node.
+        sub: usize,
+        /// Node index within the sub-cluster.
+        node: usize,
+    },
+    /// A scheduled storage/network fault window became active.
+    FaultInjected {
+        /// Fault id within the plan (retries chain to this).
+        id: u64,
+        /// Fault kind: `storage-error`, `storage-latency`, or `link-degrade`.
+        kind: String,
+        /// Instant the window deactivates, seconds.
+        until_secs: f64,
+        /// Kind-specific magnitude: error probability, extra latency in
+        /// seconds, or bandwidth factor.
+        magnitude: f64,
+    },
+    /// A store operation was retried or delayed by an injected fault.
+    FaultRetry {
+        /// Id of the injected fault that hit the operation.
+        id: u64,
+        /// Operation kind: `get` or `put`.
+        op: String,
+    },
+    /// A VM component lost to a preemption restarted on a surviving node.
+    CompRetry {
+        /// Id of the preemption fault that killed the attempt.
+        id: u64,
+        /// Task label.
+        task: String,
+        /// Sub-cluster index the retry runs in.
+        sub: usize,
+        /// Surviving node the retry was placed on.
+        node: usize,
+    },
+    /// The online controller re-placed the remaining subgraph.
+    Replan {
+        /// First phase the new placement applies to.
+        phase: usize,
+        /// Trigger: `preemption` or `straggler`.
+        reason: String,
+        /// Cluster nodes the previous plan assumed.
+        nodes_before: usize,
+        /// Surviving nodes the new plan was sized for.
+        nodes_after: usize,
+        /// Tasks whose platform changed.
+        moved: usize,
+    },
+    /// Per-node spot billing settled at the end of a run (piecewise price).
+    SpotBill {
+        /// Sub-cluster index.
+        sub: usize,
+        /// Node index within the sub-cluster.
+        node: usize,
+        /// Node-seconds billed for this node (to preemption or run end).
+        node_seconds: f64,
+        /// Dollars charged across the node's price segments.
+        dollars: f64,
+    },
 }
 
 /// One recorded event: sequence number, simulated time, payload.
@@ -632,6 +695,58 @@ pub fn record_to_json(r: &TraceRecord) -> String {
             .s("section", section)
             .b("hit", *hit)
             .finish(),
+        TraceEvent::SpotPreempt { id, sub, node } => line("SpotPreempt")
+            .u("id", *id)
+            .u("sub", *sub as u64)
+            .u("node", *node as u64)
+            .finish(),
+        TraceEvent::FaultInjected {
+            id,
+            kind,
+            until_secs,
+            magnitude,
+        } => line("FaultInjected")
+            .u("id", *id)
+            .s("kind", kind)
+            .f("until", *until_secs)
+            .f("magnitude", *magnitude)
+            .finish(),
+        TraceEvent::FaultRetry { id, op } => line("FaultRetry").u("id", *id).s("op", op).finish(),
+        TraceEvent::CompRetry {
+            id,
+            task,
+            sub,
+            node,
+        } => line("CompRetry")
+            .u("id", *id)
+            .s("task", task)
+            .u("sub", *sub as u64)
+            .u("node", *node as u64)
+            .finish(),
+        TraceEvent::Replan {
+            phase,
+            reason,
+            nodes_before,
+            nodes_after,
+            moved,
+        } => line("Replan")
+            .u("phase", *phase as u64)
+            .s("reason", reason)
+            .u("nodes_before", *nodes_before as u64)
+            .u("nodes_after", *nodes_after as u64)
+            .u("moved", *moved as u64)
+            .finish(),
+        TraceEvent::SpotBill {
+            sub,
+            node,
+            node_seconds,
+            dollars,
+        } => line("SpotBill")
+            .u("sub", *sub as u64)
+            .u("node", *node as u64)
+            .f("node_seconds", *node_seconds)
+            .f("dollars", *dollars)
+            .finish(),
     }
 }
 
@@ -815,6 +930,40 @@ pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
                 section: req_str(&v, "section", n)?,
                 hit: req_bool(&v, "hit", n)?,
             },
+            "SpotPreempt" => TraceEvent::SpotPreempt {
+                id: req_u64(&v, "id", n)?,
+                sub: req_usize(&v, "sub", n)?,
+                node: req_usize(&v, "node", n)?,
+            },
+            "FaultInjected" => TraceEvent::FaultInjected {
+                id: req_u64(&v, "id", n)?,
+                kind: req_str(&v, "kind", n)?,
+                until_secs: req_f64(&v, "until", n)?,
+                magnitude: req_f64(&v, "magnitude", n)?,
+            },
+            "FaultRetry" => TraceEvent::FaultRetry {
+                id: req_u64(&v, "id", n)?,
+                op: req_str(&v, "op", n)?,
+            },
+            "CompRetry" => TraceEvent::CompRetry {
+                id: req_u64(&v, "id", n)?,
+                task: req_str(&v, "task", n)?,
+                sub: req_usize(&v, "sub", n)?,
+                node: req_usize(&v, "node", n)?,
+            },
+            "Replan" => TraceEvent::Replan {
+                phase: req_usize(&v, "phase", n)?,
+                reason: req_str(&v, "reason", n)?,
+                nodes_before: req_usize(&v, "nodes_before", n)?,
+                nodes_after: req_usize(&v, "nodes_after", n)?,
+                moved: req_usize(&v, "moved", n)?,
+            },
+            "SpotBill" => TraceEvent::SpotBill {
+                sub: req_usize(&v, "sub", n)?,
+                node: req_usize(&v, "node", n)?,
+                node_seconds: req_f64(&v, "node_seconds", n)?,
+                dollars: req_f64(&v, "dollars", n)?,
+            },
             other => return Err(format!("line {n}: unknown event '{other}'")),
         };
         out.push(TraceRecord {
@@ -975,6 +1124,12 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                     TraceEvent::BillingStop { .. } => "BillingStop",
                     TraceEvent::PdcDecision { .. } => "PdcDecision",
                     TraceEvent::PdcCache { .. } => "PdcCache",
+                    TraceEvent::SpotPreempt { .. } => "SpotPreempt",
+                    TraceEvent::FaultInjected { .. } => "FaultInjected",
+                    TraceEvent::FaultRetry { .. } => "FaultRetry",
+                    TraceEvent::CompRetry { .. } => "CompRetry",
+                    TraceEvent::Replan { .. } => "Replan",
+                    TraceEvent::SpotBill { .. } => "SpotBill",
                     TraceEvent::Dispatch { .. } => "Dispatch",
                     TraceEvent::ResourceGrant { .. } => "ResourceGrant",
                     TraceEvent::TransferStart { .. } => "TransferStart",
@@ -1127,6 +1282,72 @@ mod tests {
         assert!(from_jsonl("{\"seq\":0,\"t\":0.0,\"ev\":\"TaskEnd\"}").is_err());
         assert!(from_jsonl("not json").is_err());
         assert_eq!(from_jsonl("\n\n").expect("blank ok"), Vec::new());
+    }
+
+    #[test]
+    fn chaos_events_round_trip_bit_for_bit() {
+        let t = Tracer::new();
+        t.emit(
+            SimTime::from_secs(1.0),
+            TraceEvent::FaultInjected {
+                id: 3,
+                kind: "storage-error".into(),
+                until_secs: 42.5,
+                magnitude: 0.25,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2.0),
+            TraceEvent::SpotPreempt {
+                id: 0,
+                sub: 1,
+                node: 2,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2.5),
+            TraceEvent::FaultRetry {
+                id: 3,
+                op: "get".into(),
+            },
+        );
+        t.emit(
+            SimTime::from_secs(3.0),
+            TraceEvent::CompRetry {
+                id: 0,
+                task: "wide".into(),
+                sub: 1,
+                node: 0,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(4.0),
+            TraceEvent::Replan {
+                phase: 2,
+                reason: "preemption".into(),
+                nodes_before: 4,
+                nodes_after: 3,
+                moved: 5,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(9.0),
+            TraceEvent::SpotBill {
+                sub: 0,
+                node: 1,
+                node_seconds: 7.25,
+                dollars: 0.000241666666666,
+            },
+        );
+        let records = t.take();
+        let text = to_jsonl(&records);
+        let parsed = from_jsonl(&text).expect("parse");
+        assert_eq!(parsed, records);
+        assert_eq!(to_jsonl(&parsed), text);
+        // Chaos records export as instant markers in the Chrome form.
+        let chrome = to_chrome_trace(&records);
+        assert!(chrome.contains("SpotPreempt"));
+        assert!(chrome.contains("Replan"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! mashup compare  <workflow...>   [--nodes N]
 //! mashup trace    <workflow...>   [--nodes N] [--strategy S] [--format jsonl|chrome] [--out FILE] [--verbose] [--check]
 //! mashup pareto   <workflow...>   [--nodes N] [--budget N] [--jobs N] [--out FILE]
+//! mashup chaos    <workflow...>   [--nodes N] [--seed S] [--profile preemption|storage|mixed] [--horizon SECS] [--straggler-factor F] [--strategy S] [--check]
 //! mashup serve    [--workers N] [--queue-depth N]
 //! mashup load-test [--requests N,N,...] [--parallelism N] [--workers N] [--no-scaling] [--out FILE] [--csv FILE]
 //! ```
@@ -129,7 +130,7 @@ fn main() {
     let _bin = argv.next();
     let Some(cmd) = argv.next() else {
         die(
-            "usage: mashup <validate|analyze|dot|plan|run|compare|trace|serve|load-test> \
+            "usage: mashup <validate|analyze|dot|plan|run|compare|trace|chaos|serve|load-test> \
              [workflow] [flags]",
         )
     };
@@ -303,6 +304,7 @@ fn main() {
             );
         }
         "pareto" => run_pareto(argv),
+        "chaos" => run_chaos(argv),
         "serve" => run_serve(argv),
         "load-test" => run_load_test(argv),
         other => die(&format!("unknown command '{other}'")),
@@ -409,6 +411,155 @@ fn run_pareto(mut argv: std::env::Args) {
         std::fs::write(path, body + "\n")
             .unwrap_or_else(|e| die(&format!("cannot write '{path}': {e}")));
         eprintln!("wrote JSON front to {path}");
+    }
+}
+
+/// `mashup chaos`: executes the workflow three times — fault-free, then
+/// under a seeded fault schedule with the static plan riding the faults
+/// out, then with the online replanning controller on — and prints the
+/// comparison plus a chaos event summary. `--check` replays both chaos
+/// traces through the trace-invariant oracle and exits nonzero on any
+/// violation. Everything is derived from the seed: rerunning the command
+/// reproduces every fault, retry, and replan bit-identically.
+fn run_chaos(mut argv: std::env::Args) {
+    let spec = argv.next().unwrap_or_else(|| die("missing workflow"));
+    let mut nodes = 16usize;
+    let mut seed = 1u64;
+    let mut profile = "preemption".to_string();
+    let mut horizon: Option<f64> = None;
+    let mut straggler_factor = 0.0f64;
+    let mut strategy = "mashup".to_string();
+    let mut check = false;
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                nodes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--nodes needs a positive integer"));
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--profile" => {
+                profile = match argv.next().as_deref() {
+                    Some(p @ ("preemption" | "storage" | "mixed")) => p.into(),
+                    other => die(&format!("unknown fault profile {other:?}")),
+                };
+            }
+            "--horizon" => {
+                horizon = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&h: &f64| h > 0.0)
+                        .unwrap_or_else(|| die("--horizon needs positive seconds")),
+                );
+            }
+            "--straggler-factor" => {
+                straggler_factor = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--straggler-factor needs a number"));
+            }
+            "--strategy" => {
+                strategy = argv
+                    .next()
+                    .unwrap_or_else(|| die("--strategy needs a value"));
+            }
+            "--check" => check = true,
+            other => die(&format!("unknown flag '{other}'")),
+        }
+    }
+    let w = load_workflow(&spec);
+    let cfg = MashupConfig::aws(nodes);
+    let run = |cfg: &MashupConfig, tracer: &Tracer| -> WorkflowReport {
+        match strategy.as_str() {
+            "mashup" => {
+                Mashup::new(cfg.clone())
+                    .with_tracer(tracer.clone())
+                    .try_run(&w)
+                    .unwrap_or_else(|e| die_diagnosed(&e))
+                    .report
+            }
+            "wo-pdc" => Mashup::new(cfg.clone())
+                .with_tracer(tracer.clone())
+                .try_run_without_pdc(&w)
+                .unwrap_or_else(|e| die_diagnosed(&e)),
+            "traditional" => run_traditional_tuned_traced(cfg, &w, tracer),
+            "serverless" => run_serverless_only_traced(cfg, &w, tracer),
+            "pegasus" => run_pegasus_traced(cfg, &w, tracer),
+            "kepler" => run_kepler_traced(cfg, &w, tracer),
+            other => die(&format!("unknown strategy '{other}'")),
+        }
+    };
+
+    // The fault-free reference also sizes the default fault horizon.
+    let base = run(&cfg, &Tracer::off());
+    let horizon = horizon.unwrap_or(base.makespan_secs);
+    let prof = match profile.as_str() {
+        "storage" => FaultProfile::storage(horizon),
+        "mixed" => FaultProfile::mixed(horizon),
+        _ => FaultProfile::preemption(horizon),
+    };
+    let plan = FaultPlan::generate(seed, &prof, nodes, cfg.cluster.instance.price_per_hour);
+    println!(
+        "'{}' on {nodes} nodes, {profile} faults (seed {seed}, horizon {horizon:.0}s): \
+         {} scheduled",
+        w.name,
+        plan.faults.len()
+    );
+
+    let static_cfg = cfg.clone().with_chaos(ChaosSpec::new(plan.clone()));
+    let adaptive_cfg = cfg.clone().with_chaos(
+        ChaosSpec::new(plan)
+            .with_adaptive(true)
+            .with_straggler_factor(straggler_factor),
+    );
+    let s_tracer = Tracer::new();
+    let s_report = run(&static_cfg, &s_tracer);
+    let s_records = s_tracer.take();
+    let a_tracer = Tracer::new();
+    let a_report = run(&adaptive_cfg, &a_tracer);
+    let a_records = a_tracer.take();
+
+    print_report("fault-free", &base);
+    print_report("static", &s_report);
+    print_report("adaptive", &a_report);
+    println!(
+        "adaptive vs static: {:.1}% time, {:.1}% expense",
+        improvement_pct(a_report.makespan_secs, s_report.makespan_secs),
+        improvement_pct(a_report.expense.total(), s_report.expense.total())
+    );
+    for (label, records) in [("static", &s_records), ("adaptive", &a_records)] {
+        let count = |f: fn(&TraceEvent) -> bool| records.iter().filter(|r| f(&r.event)).count();
+        println!(
+            "{label:<9} preemptions {}, fault windows {}, comp retries {}, \
+             storage retries {}, replans {}",
+            count(|e| matches!(e, TraceEvent::SpotPreempt { .. })),
+            count(|e| matches!(e, TraceEvent::FaultInjected { .. })),
+            count(|e| matches!(e, TraceEvent::CompRetry { .. })),
+            count(|e| matches!(e, TraceEvent::FaultRetry { .. })),
+            count(|e| matches!(e, TraceEvent::Replan { .. })),
+        );
+    }
+    if check {
+        let mut bad = 0usize;
+        for (label, run_cfg, report, records) in [
+            ("static", &static_cfg, &s_report, &s_records),
+            ("adaptive", &adaptive_cfg, &a_report, &a_records),
+        ] {
+            for v in mashup::engine::trace::check(run_cfg, &w, report, records) {
+                eprintln!("trace check [{label}]: {v}");
+                bad += 1;
+            }
+        }
+        if bad > 0 {
+            std::process::exit(1);
+        }
+        eprintln!("trace check: all invariants hold on both chaos traces");
     }
 }
 

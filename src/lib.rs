@@ -46,9 +46,10 @@ pub mod prelude {
         run_serverless_only_traced, run_traditional, run_traditional_traced, run_traditional_tuned,
         run_traditional_tuned_traced,
     };
+    pub use mashup_cloud::{Fault, FaultPlan, FaultProfile};
     pub use mashup_core::{
-        improvement_pct, Mashup, MashupConfig, MashupOutcome, Objective, Pdc, PlacementPlan,
-        Platform, TraceEvent, TraceRecord, Tracer, WorkflowReport,
+        improvement_pct, ChaosSpec, Mashup, MashupConfig, MashupOutcome, Objective, Pdc,
+        PlacementPlan, Platform, TraceEvent, TraceRecord, Tracer, WorkflowReport,
     };
     pub use mashup_dag::{
         DependencyPattern, Task, TaskProfile, TaskRef, Workflow, WorkflowBuilder,

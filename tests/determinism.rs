@@ -5,8 +5,10 @@
 //! worker count.
 
 use mashup_bench as bench;
-use mashup_bench::{run_strategy, Strategy};
-use mashup_core::MashupConfig;
+use mashup_bench::{run_strategy, run_strategy_traced, Strategy};
+use mashup_cloud::{FaultPlan, FaultProfile};
+use mashup_core::{ChaosSpec, MashupConfig, Tracer};
+use mashup_sim::trace::to_jsonl;
 use mashup_workflows::{epigenomics, genome1000, srasearch};
 
 /// Mashup makespans on a 4-node AWS-like cluster, captured from the seed
@@ -36,6 +38,53 @@ fn mashup_makespans_match_seed_goldens_bit_for_bit() {
             r.makespan_secs
         );
     }
+}
+
+#[test]
+fn chaos_replay_is_bit_identical_across_job_counts() {
+    // The determinism matrix for the chaos layer: a grid of seeded
+    // FaultPlans × paper workflows, every cell an adaptive Mashup run,
+    // farmed over the shared serve pool at 1, 4, and 16 workers. Faults
+    // come only from the seeded schedule and each scenario owns its
+    // Simulation, so the full report *and* the full flow-level trace must
+    // be bit-identical whatever thread interleaving the pool picks. The
+    // plan cache is off for the matrix: which cell warms a cache section
+    // first is a worker-count-dependent race, and the flight recorder
+    // honestly reports hit/miss — the only admissible trace difference.
+    fn run_matrix() -> Vec<String> {
+        let cells: Vec<(u64, usize)> = (0..2u64)
+            .flat_map(|s| (0..3).map(move |w| (s, w)))
+            .collect();
+        bench::par_map(cells, |(seed, wi)| {
+            let (w, horizon) = match wi {
+                0 => (genome1000::workflow(), 700.0),
+                1 => (srasearch::workflow(), 350.0),
+                _ => (epigenomics::workflow(), 3500.0),
+            };
+            let base = MashupConfig::aws(4);
+            let plan = FaultPlan::generate(
+                seed,
+                &FaultProfile::mixed(horizon),
+                base.cluster.nodes,
+                base.cluster.instance.price_per_hour,
+            );
+            let cfg = base.with_chaos(ChaosSpec::new(plan).with_adaptive(true));
+            let tracer = Tracer::new();
+            let report = run_strategy_traced(&cfg, &w, Strategy::Mashup, &tracer);
+            format!("{report:?}\n{}", to_jsonl(&tracer.take()))
+        })
+    }
+    bench::set_plan_cache_enabled(false);
+    bench::set_jobs(1);
+    let serial = run_matrix();
+    bench::set_jobs(4);
+    let four = run_matrix();
+    bench::set_jobs(16);
+    let sixteen = run_matrix();
+    bench::set_jobs(0);
+    bench::set_plan_cache_enabled(true);
+    assert_eq!(serial, four, "chaos replay depends on --jobs 4");
+    assert_eq!(serial, sixteen, "chaos replay depends on --jobs 16");
 }
 
 #[test]

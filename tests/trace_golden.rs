@@ -16,7 +16,8 @@
 //!
 //! then review the fixture diff like any other code change.
 
-use mashup_core::{Mashup, MashupConfig, Tracer};
+use mashup_cloud::{Fault, FaultPlan};
+use mashup_core::{ChaosSpec, Mashup, MashupConfig, Tracer};
 use mashup_sim::trace::{from_jsonl, to_jsonl};
 use mashup_workflows::{epigenomics, genome1000, srasearch};
 use std::path::PathBuf;
@@ -35,9 +36,46 @@ fn record(workflow: &mashup_dag::Workflow) -> String {
     to_jsonl(&tracer.take())
 }
 
+fn record_chaos(workflow: &mashup_dag::Workflow, chaos: ChaosSpec) -> String {
+    let tracer = Tracer::new();
+    Mashup::new(MashupConfig::aws(4).with_chaos(chaos))
+        .with_tracer(tracer.clone())
+        .run(workflow);
+    to_jsonl(&tracer.take())
+}
+
+/// Two spot nodes reclaimed mid-run with the replanning controller on, so
+/// the golden pins preemption, retry, replanning, and spot-billing bytes.
+fn preempt_chaos(at_secs: f64) -> ChaosSpec {
+    let mut plan = FaultPlan::empty(29);
+    plan.faults.push(Fault::Preempt { at_secs, node: 1 });
+    plan.faults.push(Fault::Preempt { at_secs, node: 2 });
+    ChaosSpec::new(plan).with_adaptive(true)
+}
+
+/// A transient GET-error window plus a latency spike over the early run,
+/// so the golden pins fault injection and per-operation retry bytes.
+fn storage_chaos(until_secs: f64) -> ChaosSpec {
+    let mut plan = FaultPlan::empty(31);
+    plan.faults.push(Fault::StorageError {
+        from_secs: 0.0,
+        until_secs,
+        prob: 0.3,
+    });
+    plan.faults.push(Fault::StorageLatency {
+        from_secs: 0.0,
+        until_secs,
+        extra_secs: 0.2,
+    });
+    ChaosSpec::new(plan)
+}
+
 fn check_golden(name: &str, workflow: &mashup_dag::Workflow) {
+    check_golden_bytes(name, record(workflow));
+}
+
+fn check_golden_bytes(name: &str, actual: String) {
     let path = golden_path(name);
-    let actual = record(workflow);
     if std::env::var_os("MASHUP_BLESS_TRACES").is_some() {
         std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
         std::fs::write(&path, &actual).expect("write fixture");
@@ -77,4 +115,65 @@ fn srasearch_trace_matches_golden() {
 #[test]
 fn epigenomics_trace_matches_golden() {
     check_golden("epigenomics", &epigenomics::workflow());
+}
+
+// --- chaos goldens: seeded fault schedules replay byte-for-byte ---------
+//
+// Reclaim instants / fault windows sit in each workflow's first quarter
+// (makespans at 4 nodes: ~923s, ~418s, ~5083s), so plenty of the run
+// remains for retries and replanning to land in the trace.
+
+#[test]
+fn genome1000_preemption_trace_matches_golden() {
+    let t = record_chaos(&genome1000::workflow(), preempt_chaos(200.0));
+    check_golden_bytes("genome1000_preempt", t);
+}
+
+#[test]
+fn srasearch_preemption_trace_matches_golden() {
+    let t = record_chaos(&srasearch::workflow(), preempt_chaos(100.0));
+    check_golden_bytes("srasearch_preempt", t);
+}
+
+#[test]
+fn epigenomics_preemption_trace_matches_golden() {
+    let t = record_chaos(&epigenomics::workflow(), preempt_chaos(1200.0));
+    check_golden_bytes("epigenomics_preempt", t);
+}
+
+#[test]
+fn genome1000_storage_fault_trace_matches_golden() {
+    let t = record_chaos(&genome1000::workflow(), storage_chaos(230.0));
+    check_golden_bytes("genome1000_storage", t);
+}
+
+#[test]
+fn srasearch_storage_fault_trace_matches_golden() {
+    let t = record_chaos(&srasearch::workflow(), storage_chaos(100.0));
+    check_golden_bytes("srasearch_storage", t);
+}
+
+#[test]
+fn epigenomics_storage_fault_trace_matches_golden() {
+    let t = record_chaos(&epigenomics::workflow(), storage_chaos(1200.0));
+    check_golden_bytes("epigenomics_storage", t);
+}
+
+/// The chaos layer is strictly opt-in: a config carrying an *inert* spec
+/// (controller off, zero faults) must replay the fault-free golden
+/// byte-for-byte — same events, same seq numbers, same serialization.
+#[test]
+fn inert_chaos_matches_the_fault_free_golden() {
+    for (name, w) in [
+        ("genome1000", genome1000::workflow()),
+        ("srasearch", srasearch::workflow()),
+        ("epigenomics", epigenomics::workflow()),
+    ] {
+        let golden = std::fs::read_to_string(golden_path(name)).expect("fault-free golden");
+        let inert = record_chaos(&w, ChaosSpec::new(FaultPlan::empty(97)));
+        assert_eq!(
+            golden, inert,
+            "{name}: an inert ChaosSpec perturbed the fault-free trace"
+        );
+    }
 }

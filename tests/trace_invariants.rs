@@ -9,8 +9,11 @@
 //! oracle cannot rot into a rubber stamp.
 
 use mashup_bench::{run_strategy_traced, Strategy};
-use mashup_core::trace::{check, Violation, CAPACITY, CKPT_WINDOW, COST, PRECEDENCE, WARM_START};
-use mashup_core::{MashupConfig, TraceEvent, TraceRecord, Tracer, WorkflowReport};
+use mashup_cloud::{FaultPlan, FaultProfile};
+use mashup_core::trace::{
+    check, Violation, CAPACITY, CKPT_WINDOW, COST, FAULT_ATTRIB, PRECEDENCE, REPLAN, WARM_START,
+};
+use mashup_core::{ChaosSpec, MashupConfig, TraceEvent, TraceRecord, Tracer, WorkflowReport};
 use mashup_dag::Workflow;
 use mashup_workflows::{epigenomics, genome1000, srasearch};
 
@@ -149,6 +152,63 @@ fn forging_a_warm_start_trips_the_warm_start_checker() {
     }
     let v = check(&cfg, &w, &report, &records);
     assert!(codes(&v).contains(&WARM_START), "got: {}", render(&v));
+}
+
+/// A full adaptive chaos run on SRAsearch: mixed seeded faults sized to
+/// the 16-node fault-free makespan, replanning controller on. The trace
+/// contains preemptions, retries of both families, and replan events, so
+/// it exercises every chaos checker.
+fn chaos_run() -> (MashupConfig, Workflow, WorkflowReport, Vec<TraceRecord>) {
+    let base = MashupConfig::aws(16);
+    let plan = FaultPlan::generate(
+        7,
+        &FaultProfile::mixed(415.0),
+        base.cluster.nodes,
+        base.cluster.instance.price_per_hour,
+    );
+    let cfg = base.with_chaos(ChaosSpec::new(plan).with_adaptive(true));
+    let w = srasearch::workflow();
+    let (report, records) = traced_run(&cfg, &w, Strategy::Mashup);
+    let has = |f: &dyn Fn(&TraceEvent) -> bool| records.iter().any(|r| f(&r.event));
+    assert!(
+        has(&|e| matches!(e, TraceEvent::Replan { .. }))
+            && has(&|e| matches!(e, TraceEvent::CompRetry { .. }))
+            && has(&|e| matches!(e, TraceEvent::FaultRetry { .. })),
+        "chaos fixture run must replan and retry for the corruptions below to bite"
+    );
+    assert!(check(&cfg, &w, &report, &records).is_empty());
+    (cfg, w, report, records)
+}
+
+#[test]
+fn inflating_replanned_capacity_trips_the_replan_checker() {
+    let (cfg, w, report, mut records) = chaos_run();
+    // Claim the controller re-placed onto more nodes than survive the
+    // preemptions known at that instant.
+    let r = records
+        .iter_mut()
+        .find(|r| matches!(&r.event, TraceEvent::Replan { .. }))
+        .expect("controller replanned");
+    if let TraceEvent::Replan { nodes_after, .. } = &mut r.event {
+        *nodes_after += 1;
+    }
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&REPLAN), "got: {}", render(&v));
+}
+
+#[test]
+fn orphaning_a_retry_trips_the_fault_attribution_checker() {
+    let (cfg, w, report, mut records) = chaos_run();
+    // Point a computation retry at a fault id no preemption ever carried.
+    let r = records
+        .iter_mut()
+        .find(|r| matches!(&r.event, TraceEvent::CompRetry { .. }))
+        .expect("preempted components retried");
+    if let TraceEvent::CompRetry { id, .. } = &mut r.event {
+        *id += 1_000;
+    }
+    let v = check(&cfg, &w, &report, &records);
+    assert!(codes(&v).contains(&FAULT_ATTRIB), "got: {}", render(&v));
 }
 
 #[test]
